@@ -1,0 +1,25 @@
+"""Benchmark-suite fixtures.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module regenerates
+one table or figure of the paper: the pytest-benchmark timings measure the
+Python implementations themselves, and every test prints the paper-style
+table (visible with ``-s`` or in the captured output) and asserts the
+result's *shape* against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_application
+
+
+@pytest.fixture(scope="session")
+def activity_small():
+    """ACTIVITY at a reduced training budget — the workhorse dataset."""
+    return load_application("activity", train_limit=300)
+
+
+@pytest.fixture(scope="session")
+def speech_small():
+    return load_application("speech", train_limit=400)

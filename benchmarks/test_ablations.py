@@ -1,0 +1,154 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each test knocks one LookHD mechanism out and shows it mattered:
+position binding, decorrelation, equalized quantization, counter
+factorisation, and compression group size.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.compression import CompressedModel
+from repro.quantization.linear import LinearQuantizer
+
+
+class TestPositionBindingAblation:
+    def test_position_binding_preserves_chunk_order_information(self, benchmark):
+        # Construct a task whose *only* signal is chunk order: two classes
+        # use the same chunk contents in swapped order.
+        rng = np.random.default_rng(0)
+        low, high = rng.random(5) * 0.2, 0.8 + rng.random(5) * 0.2
+        a = np.concatenate([low, high])
+        b = np.concatenate([high, low])
+        features = np.vstack(
+            [a + 0.01 * rng.standard_normal((40, 10)), b + 0.01 * rng.standard_normal((40, 10))]
+        )
+        labels = np.array([0] * 40 + [1] * 40)
+
+        def fit(bound):
+            clf = LookHDClassifier(
+                LookHDConfig(dim=1024, levels=4, chunk_size=5, compress=False)
+            )
+            clf.fit(features, labels)
+            if not bound:
+                # Rebuild with naive (unbound) aggregation.
+                clf.encoder.bind_positions = False
+                from repro.lookhd.trainer import LookHDTrainer
+
+                trainer = LookHDTrainer(clf.encoder, 2)
+                trainer.observe(features, labels)
+                clf.class_model = trainer.build_model()
+            return clf.score(features, labels)
+
+        bound_accuracy = benchmark.pedantic(fit, args=(True,), iterations=1, rounds=1)
+        naive_accuracy = fit(False)
+        assert bound_accuracy > 0.95
+        # Without position binding the two classes encode identically.
+        assert naive_accuracy < 0.7
+
+
+class TestDecorrelationAblation:
+    def test_decorrelation_rescues_compression(self, activity_small, benchmark):
+        data = activity_small
+
+        def accuracy(decorrelate):
+            clf = LookHDClassifier(
+                LookHDConfig(dim=2_000, levels=4, decorrelate=decorrelate)
+            )
+            clf.fit(data.train_features, data.train_labels)
+            return clf.score(data.test_features, data.test_labels)
+
+        with_decorrelation = benchmark.pedantic(
+            accuracy, args=(True,), iterations=1, rounds=1
+        )
+        without = accuracy(False)
+        # Fig. 8's point: compression without decorrelation flips rankings.
+        assert with_decorrelation > without + 0.1
+
+
+class TestQuantizationAblation:
+    def test_equalized_beats_linear_at_matched_q(self, activity_small):
+        data = activity_small
+        equalized = LookHDClassifier(LookHDConfig(dim=2_000, levels=4))
+        equalized.fit(data.train_features, data.train_labels, retrain_iterations=2)
+        linear = LookHDClassifier(
+            LookHDConfig(dim=2_000, levels=4), quantizer=LinearQuantizer(4)
+        )
+        linear.fit(data.train_features, data.train_labels, retrain_iterations=2)
+        assert equalized.score(data.test_features, data.test_labels) > linear.score(
+            data.test_features, data.test_labels
+        )
+
+
+class TestCounterFactorisationAblation:
+    def test_counter_training_faster_than_per_sample_encoding(self, speech_small):
+        # The Fig. 6 engineering claim, measured on the actual NumPy code:
+        # counting + one materialisation beats encoding every sample.
+        data = speech_small
+        clf = LookHDClassifier(LookHDConfig(dim=2_000, levels=4))
+
+        start = time.perf_counter()
+        clf.fit(data.train_features, data.train_labels)
+        counter_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        encoded = clf.encoder.encode_many(data.train_features)
+        direct = np.stack(
+            [
+                encoded[data.train_labels == c].sum(axis=0)
+                for c in range(data.n_classes)
+            ]
+        )
+        direct_seconds = time.perf_counter() - start
+
+        # Bit-exact equivalence *and* a real speed advantage.
+        assert np.array_equal(direct, clf.class_model.class_vectors)
+        assert counter_seconds < direct_seconds * 1.5
+
+
+class TestGroupSizeAblation:
+    @pytest.mark.parametrize("group_size,expected_groups", [(1, 26), (12, 3), (26, 1)])
+    def test_group_size_trades_size_for_noise(
+        self, speech_small, group_size, expected_groups
+    ):
+        data = speech_small
+        clf = LookHDClassifier(
+            LookHDConfig(dim=2_000, levels=4, group_size=group_size)
+        )
+        clf.fit(data.train_features, data.train_labels)
+        assert clf.compressed_model.n_groups == expected_groups
+
+    def test_smaller_groups_more_accurate(self, speech_small):
+        data = speech_small
+        scores = {}
+        for group_size in (26, 12, 1):
+            clf = LookHDClassifier(
+                LookHDConfig(dim=2_000, levels=4, group_size=group_size)
+            )
+            clf.fit(data.train_features, data.train_labels)
+            scores[group_size] = clf.score(data.test_features, data.test_labels)
+        assert scores[1] >= scores[12] - 0.02 >= scores[26] - 0.04
+
+
+class TestPerFeatureQuantizationAblation:
+    def test_pooled_quantization_acts_as_feature_selection(self, activity_small):
+        # Pooled quantile quantization maps near-constant nuisance features
+        # to a common-mode level (later removed by decorrelation), while
+        # per-feature quantization spends full resolution on them.  On the
+        # paper-style workloads pooling is therefore at least as good.
+        from repro.quantization.per_feature import PerFeatureEqualizedQuantizer
+
+        data = activity_small
+        pooled = LookHDClassifier(LookHDConfig(dim=2_000, levels=4))
+        pooled.fit(data.train_features, data.train_labels, retrain_iterations=2)
+        per_feature = LookHDClassifier(
+            LookHDConfig(dim=2_000, levels=4),
+            quantizer=PerFeatureEqualizedQuantizer(4),
+        )
+        per_feature.fit(data.train_features, data.train_labels, retrain_iterations=2)
+        assert pooled.score(data.test_features, data.test_labels) >= (
+            per_feature.score(data.test_features, data.test_labels) - 0.02
+        )

@@ -1,0 +1,15 @@
+"""Fig. 2 — phase breakdown of baseline HDC (modelled on the ARM A53)."""
+
+import numpy as np
+
+from repro.experiments import fig02_breakdown
+
+
+def test_fig02_breakdown(benchmark):
+    rows = benchmark(fig02_breakdown.run)
+    print("\n" + fig02_breakdown.main())
+    train_share = np.mean([r.train_encoding_share for r in rows])
+    infer_share = np.mean([r.infer_search_share for r in rows])
+    # Paper: encoding ~80% of training, search ~83% of inference.
+    assert train_share > 0.7
+    assert infer_share > 0.5

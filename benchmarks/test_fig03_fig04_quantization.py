@@ -1,0 +1,29 @@
+"""Figs. 3 & 4 — quantization boundaries, occupancy, and accuracy sweeps."""
+
+from repro.experiments import fig03_quantization_boundaries, fig04_quantization_accuracy
+
+
+def test_fig03_boundaries(benchmark):
+    report = benchmark(fig03_quantization_boundaries.run)
+    print("\n" + fig03_quantization_boundaries.main())
+    # Paper Fig. 3: linear quantization wastes levels on the skewed tail,
+    # equalized fills all levels evenly.
+    assert report.linear_balance < 0.1
+    assert report.equalized_balance > 0.9
+
+
+def test_fig04_accuracy_vs_q(benchmark):
+    rows = benchmark.pedantic(
+        fig04_quantization_accuracy.run,
+        kwargs={"dim": 2_000, "retrain_iterations": 3, "train_limit": 400},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + fig04_quantization_accuracy.main(train_limit=400))
+    by_q = {r.levels: r for r in rows}
+    # Equalized q=4 matches or beats linear q=16 (the paper's +1.2% claim).
+    assert by_q[4].equalized_accuracy >= by_q[16].linear_accuracy - 0.01
+    # Linear accuracy drops at q=2 relative to q=16 (paper: −3.4%).
+    assert by_q[2].linear_accuracy < by_q[16].linear_accuracy
+    # Equalized is robust across the whole grid.
+    assert by_q[2].equalized_accuracy > by_q[16].linear_accuracy - 0.05

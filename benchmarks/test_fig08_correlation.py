@@ -1,0 +1,18 @@
+"""Fig. 8 — cosine distribution before/after class decorrelation."""
+
+from repro.experiments import fig08_correlation
+
+
+def test_fig08_correlation(benchmark):
+    report = benchmark.pedantic(
+        fig08_correlation.run,
+        kwargs={"dim": 2_000, "train_limit": 400, "n_queries": 1_000},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + fig08_correlation.main())
+    # Paper: the original model's cosines concentrate near [0.9, 1.0];
+    # decorrelation widens the distribution dramatically.
+    assert report.original_mean > 0.7
+    assert report.original_spread < 0.6
+    assert report.decorrelated_spread > 1.5 * report.original_spread

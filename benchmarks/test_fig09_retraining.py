@@ -1,0 +1,22 @@
+"""Fig. 9 — accuracy across compressed-retraining iterations."""
+
+from repro.experiments import fig09_retraining
+
+
+def test_fig09_retraining(benchmark):
+    curves = benchmark.pedantic(
+        fig09_retraining.run,
+        kwargs={
+            "applications": ("speech", "activity", "physical"),
+            "iterations": 10,
+            "dim": 2_000,
+            "train_limit": 400,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + fig09_retraining.main(train_limit=400))
+    for curve in curves:
+        # Accuracy stabilises within ~10 iterations without collapsing:
+        # the final model is at least as good as the first iteration's.
+        assert curve.final_accuracy >= curve.validation_accuracy[0] - 0.03

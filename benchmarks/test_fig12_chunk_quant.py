@@ -1,0 +1,31 @@
+"""Fig. 12 — accuracy grid over chunk size r and quantization q (D=2000)."""
+
+import numpy as np
+
+from repro.experiments import fig12_chunk_quant
+
+
+def test_fig12_chunk_quant(benchmark):
+    points = benchmark.pedantic(
+        fig12_chunk_quant.run,
+        kwargs={
+            "applications": ("activity", "physical"),
+            "chunk_grid": (2, 3, 5),
+            "level_grid": (2, 4),
+            "dim": 2_000,
+            "retrain_iterations": 3,
+            "train_limit": 300,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + fig12_chunk_quant.main(applications=("activity", "physical"), train_limit=300))
+    # Paper: r = 5 with q in {2, 4} reaches acceptable accuracy, and larger
+    # chunks generally help (fewer position bindings to cut through).
+    for name in ("activity", "physical"):
+        subset = [p for p in points if p.application == name]
+        best_r5 = max(p.accuracy for p in subset if p.chunk_size == 5)
+        assert best_r5 > 0.85
+        mean_r5 = np.mean([p.accuracy for p in subset if p.chunk_size == 5])
+        mean_r2 = np.mean([p.accuracy for p in subset if p.chunk_size == 2])
+        assert mean_r5 >= mean_r2 - 0.05

@@ -1,0 +1,54 @@
+"""Fig. 14 — inference & retraining efficiency (modelled + measured)."""
+
+import numpy as np
+
+from repro.experiments import fig14_inference_retraining
+from repro.hdc.classifier import BaselineHDClassifier
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+def test_fig14_modelled(benchmark):
+    rows = benchmark(fig14_inference_retraining.run)
+    print("\n" + fig14_inference_retraining.main())
+    averages = fig14_inference_retraining.averages(rows)
+    for key, (speed, energy) in averages.items():
+        assert speed > 1.0, key
+        assert energy > 1.0, key
+    # Paper: the class-heavy apps (SPEECH k=26, PHYSICAL k=12) show the
+    # largest retraining gains; FACE (k=2) the smallest.
+    retrain = [r for r in rows if r.phase == "retraining" and r.platform == "fpga"]
+    by_app = {r.application: r.speedup for r in retrain}
+    assert min(by_app["speech"], by_app["physical"]) > by_app["face"]
+
+
+def test_measured_compressed_inference_fewer_ops(activity_small):
+    data = activity_small
+    look = LookHDClassifier(LookHDConfig(dim=2_000, levels=4))
+    look.fit(data.train_features, data.train_labels)
+    base = BaselineHDClassifier(dim=2_000, levels=8)
+    base.fit(data.train_features, data.train_labels)
+    # Multiplication-count comparison behind the Fig. 14 speedups: the
+    # compressed search needs one group product vs one per class.
+    compressed_mults = look.compressed_model.multiplications_per_query()
+    baseline_mults = data.n_classes * 2_000
+    assert baseline_mults / compressed_mults == data.n_classes
+
+
+def test_measured_lookhd_inference_latency(benchmark, activity_small):
+    data = activity_small
+    clf = LookHDClassifier(LookHDConfig(dim=2_000, levels=4))
+    clf.fit(data.train_features, data.train_labels)
+    queries = data.test_features[:64]
+
+    predictions = benchmark(clf.predict, queries)
+    assert np.mean(predictions == data.test_labels[:64]) > 0.8
+
+
+def test_measured_baseline_inference_latency(benchmark, activity_small):
+    data = activity_small
+    clf = BaselineHDClassifier(dim=2_000, levels=8)
+    clf.fit(data.train_features, data.train_labels)
+    queries = data.test_features[:64]
+
+    predictions = benchmark(clf.predict, queries)
+    assert np.mean(predictions == data.test_labels[:64]) > 0.8

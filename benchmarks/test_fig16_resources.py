@@ -1,0 +1,17 @@
+"""Fig. 16 — FPGA resource utilisation of LookHD phases."""
+
+from repro.experiments import fig16_resources
+
+
+def test_fig16_resources(benchmark):
+    rows = benchmark(fig16_resources.run)
+    print("\n" + fig16_resources.main())
+    by_key = {(r.application, r.phase): r for r in rows}
+    # Paper: SPEECH inference is DSP-bound, SPEECH training LUT-bound,
+    # FACE (k=2) LUT-bound in both phases.
+    assert by_key[("speech", "inference")].bottleneck == "dsp"
+    assert by_key[("speech", "training")].bottleneck == "fabric"
+    assert by_key[("face", "training")].bottleneck == "fabric"
+    assert by_key[("face", "inference")].bottleneck == "fabric"
+    # FACE barely touches the DSPs (k=2 → tiny associative search).
+    assert by_key[("face", "inference")].dsp < 0.3

@@ -1,0 +1,50 @@
+"""Extensions: fault-injection robustness and Eq. 5 capacity analytics.
+
+Not paper figures, but direct quantifications of two of its claims — the
+intro's "strong robustness to noise" (claim iv) and the Eq. 5 noise
+decomposition used throughout Sec. IV.
+"""
+
+from repro.analysis.capacity import snr_sweep
+from repro.analysis.robustness import robustness_curve
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+def test_model_bit_flip_robustness(benchmark, activity_small):
+    data = activity_small
+    clf = LookHDClassifier(LookHDConfig(dim=2_000, levels=4))
+    clf.fit(data.train_features, data.train_labels)
+
+    curve = benchmark.pedantic(
+        robustness_curve,
+        args=(clf, data.test_features, data.test_labels),
+        kwargs={"flip_fractions": (0.0, 0.001, 0.01, 0.05, 0.1)},
+        iterations=1,
+        rounds=1,
+    )
+    print("\nmodel bit-flip robustness (activity):")
+    for point in curve:
+        print(f"  {point.flip_fraction:6.3f} of stored bits flipped -> "
+              f"accuracy {point.accuracy:.3f}")
+    clean = curve[0].accuracy
+    by_fraction = {p.flip_fraction: p.accuracy for p in curve}
+    # Graceful degradation: 1% of bits costs almost nothing.
+    assert by_fraction[0.01] > clean - 0.05
+    # 10% hurts, but the model is still far above chance.
+    assert by_fraction[0.1] > 1.5 / data.n_classes
+
+
+def test_eq5_noise_prediction(benchmark):
+    points = benchmark.pedantic(
+        snr_sweep,
+        kwargs={"class_grid": (2, 4, 8, 16, 32), "dim": 2_000, "n_queries": 200},
+        iterations=1,
+        rounds=1,
+    )
+    print("\nEq. 5 cross-talk: predicted vs measured std")
+    for point in points:
+        print(f"  k={point.n_classes:2d}: predicted {point.predicted_noise_std:8.4f}  "
+              f"measured {point.measured_noise_std:8.4f}  "
+              f"(ratio {point.agreement:.3f})")
+    for point in points:
+        assert abs(point.agreement - 1.0) < 0.25, point

@@ -1,0 +1,21 @@
+"""Table I — application characteristics and baseline HD accuracy."""
+
+from repro.experiments import table01_characteristics
+
+
+def test_table01_characteristics(benchmark):
+    rows = benchmark.pedantic(
+        table01_characteristics.run,
+        kwargs={"dim": 2_000, "retrain_iterations": 3, "train_limit": 400},
+        iterations=1,
+        rounds=1,
+    )
+    print("\n" + table01_characteristics.main(train_limit=400))
+    for row in rows:
+        # Within a few points of each paper accuracy (synthetic stand-ins).
+        assert abs(row.accuracy - row.paper_accuracy) < 0.08, row
+    # The naive q^n lookup sizes of Table I, which motivate LookHD.
+    by_app = {r.application: r for r in rows}
+    assert round(by_app["speech"].log2_lookup_rows) == 2468
+    assert round(by_app["activity"].log2_lookup_rows) == 1683
+    assert round(by_app["physical"].log2_lookup_rows) == 156

@@ -1,0 +1,28 @@
+"""Table III — LookHD (FPGA) vs GPU baseline HDC, normalised to CPU."""
+
+from repro.experiments import table03_gpu
+
+
+def test_table03_gpu(benchmark):
+    comparisons = benchmark(table03_gpu.run)
+    print("\n" + table03_gpu.main())
+    gpu = next(c for c in comparisons if "GPU" in c.label)
+    fpga_base = next(c for c in comparisons if "baseline HDC on FPGA" == c.label)
+    look = next(c for c in comparisons if "LookHD on FPGA (D=2000)" == c.label)
+    look_small = next(c for c in comparisons if "LookHD on FPGA (D=1000)" == c.label)
+
+    # Paper's Table III structure:
+    # GPU trains faster than the FPGA *baseline* (raw throughput) ...
+    assert gpu.train_speedup_vs_cpu > 1.0
+    # ... but LookHD on FPGA beats the GPU on speed ...
+    assert look.train_speedup_vs_cpu > gpu.train_speedup_vs_cpu
+    assert look.infer_speedup_vs_cpu > gpu.infer_speedup_vs_cpu
+    # ... and by orders of magnitude on energy (paper: 67.5x / 112.7x).
+    assert look.train_energy_vs_cpu / gpu.train_energy_vs_cpu > 20
+    assert look.infer_energy_vs_cpu / gpu.infer_energy_vs_cpu > 20
+    # Reducing D buys further speedup (paper: ~1.2x).
+    assert look_small.train_speedup_vs_cpu > look.train_speedup_vs_cpu
+    # The GPU is the least energy-efficient inference platform of all.
+    assert gpu.infer_energy_vs_cpu < 1.0
+    # The FPGA baseline comfortably beats the CPU (paper: 830x/1509x).
+    assert fpga_base.train_speedup_vs_cpu > 50

@@ -1,0 +1,91 @@
+"""Edge-deployment sizing report: would your workload fit the paper's FPGA?
+
+Uses the hardware models to answer the questions an embedded deployment
+actually asks: does the lookup table fit in BRAM, how wide is the
+associative-search window, what are the modelled per-query latency /
+energy on the Kintex-7 and the ARM A53, and how do the algorithms
+compare at your dataset scale.
+
+    python examples/edge_deployment_report.py [application]
+"""
+
+import sys
+
+from repro.datasets.registry import APPLICATIONS
+from repro.experiments.common import paper_train_size, workload_shape
+from repro.hw.arm import ArmCortexA53
+from repro.hw.fpga import KintexFpga
+from repro.hw.opcounts import lookhd_encoding_ops, lookhd_search_ops, lookhd_training_ops
+from repro.hw.scenarios import (
+    baseline_inference,
+    baseline_training,
+    lookhd_inference,
+    lookhd_training,
+    model_size_bytes,
+)
+
+
+def report(application: str) -> None:
+    app = APPLICATIONS[application]
+    shape = workload_shape(application)
+    n_samples = paper_train_size(application)
+    fpga, arm = KintexFpga(), ArmCortexA53()
+
+    print(f"=== {application} ===")
+    print(f"n={shape.n_features} features, k={shape.n_classes} classes, "
+          f"D={shape.dim}, q={shape.levels}, r={shape.chunk_size} "
+          f"({shape.n_chunks} chunks), {n_samples} training samples")
+
+    print("\n-- on-chip feasibility (Kintex-7 KC705) --")
+    table_rows = shape.table_rows
+    fits = fpga.table_fits_in_bram(shape)
+    print(f"lookup table: {table_rows} rows x {shape.dim} dims -> "
+          f"{'fits in BRAM' if fits else 'does NOT fit in BRAM'}")
+    print(f"associative-search window d' ~= {fpga.search_window(shape)} dims/cycle")
+    util = fpga.utilization_report(
+        [lookhd_encoding_ops(shape), lookhd_search_ops(shape)]
+    )
+    bottleneck = max(util, key=util.get)
+    print(f"inference utilisation: " +
+          ", ".join(f"{k}={v:.2f}" for k, v in util.items()) +
+          f" (bottleneck: {bottleneck})")
+
+    print("\n-- modelled performance --")
+    for platform, label in ((fpga, "FPGA"), (arm, "ARM A53")):
+        base_shape = workload_shape(application, levels=16)
+        train_base = baseline_training(platform, base_shape, n_samples)
+        train_look = lookhd_training(platform, shape, n_samples)
+        infer_base = baseline_inference(platform, base_shape)
+        infer_look = lookhd_inference(platform, shape)
+        print(f"{label}:")
+        print(f"  training:  baseline {train_base.seconds * 1e3:8.2f} ms -> "
+              f"LookHD {train_look.seconds * 1e3:8.2f} ms "
+              f"({train_base.seconds / train_look.seconds:5.1f}x, "
+              f"energy {train_base.joules / train_look.joules:5.1f}x)")
+        print(f"  inference: baseline {infer_base.seconds * 1e6:8.2f} us -> "
+              f"LookHD {infer_look.seconds * 1e6:8.2f} us "
+              f"({infer_base.seconds / infer_look.seconds:5.1f}x, "
+              f"energy {infer_base.joules / infer_look.joules:5.1f}x)")
+
+    print("\n-- deployed model footprint --")
+    full = model_size_bytes(shape, compressed=False)
+    compressed = model_size_bytes(shape, compressed=True)
+    print(f"uncompressed: {full / 1024:.0f} KiB ({shape.n_classes} hypervectors)")
+    print(f"compressed:   {compressed / 1024:.0f} KiB "
+          f"({shape.n_groups} hypervector(s), {full / compressed:.1f}x smaller)")
+
+    # Modelled training op budget, for capacity planning.
+    ops = lookhd_training_ops(shape, n_samples)
+    print(f"\ntraining op budget: {ops.total_arithmetic / 1e6:.1f} M arithmetic ops, "
+          f"{ops.total_memory / 1e6:.1f} M memory elements")
+
+
+def main():
+    names = sys.argv[1:] if len(sys.argv) > 1 else ["activity", "speech"]
+    for name in names:
+        report(name)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""Quickstart: train LookHD on the activity-recognition workload.
+
+Runs the full paper pipeline in ~20 seconds: equalized quantization,
+lookup-based encoding, counter training, model compression, compressed
+retraining — and compares accuracy and model size against the baseline
+HDC algorithm the paper benchmarks against.
+
+    python examples/quickstart.py
+"""
+
+from repro import BaselineHDClassifier, LookHDClassifier, LookHDConfig, load_application
+
+
+def main():
+    data = load_application("activity", train_limit=400)
+    print(data.describe())
+
+    config = LookHDConfig(dim=2_000, levels=4, chunk_size=5)
+    lookhd = LookHDClassifier(config)
+    trace = lookhd.fit(
+        data.train_features, data.train_labels, retrain_iterations=5
+    )
+    lookhd_accuracy = lookhd.score(data.test_features, data.test_labels)
+
+    baseline = BaselineHDClassifier(dim=2_000, levels=8)
+    baseline.fit(data.train_features, data.train_labels, retrain_iterations=5)
+    baseline_accuracy = baseline.score(data.test_features, data.test_labels)
+
+    print(f"\nLookHD   accuracy: {lookhd_accuracy:.3f} "
+          f"(q={config.levels} equalized levels, r={config.chunk_size})")
+    print(f"baseline accuracy: {baseline_accuracy:.3f} (q=8 linear levels)")
+    print(f"retraining updates per pass: {trace.updates_per_iteration}")
+
+    look_bytes = lookhd.model_size_bytes()
+    base_bytes = baseline.model_size_bytes()
+    print(f"\nmodel size: LookHD {look_bytes / 1024:.1f} KiB "
+          f"vs baseline {base_bytes / 1024:.1f} KiB "
+          f"({base_bytes / look_bytes:.1f}x smaller)")
+    print(f"lookup table (BRAM budget): {lookhd.lookup_table_bytes() / 1024:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of LookHD (HPCA 2021).
+
+LookHD is a lookup-based hyperdimensional-computing (HDC) architecture:
+it replaces the costly HDC encoding with pre-stored chunk hypervectors
+addressed by quantized feature codebooks, trains by counting chunk-pattern
+occurrences, and compresses the k-class model into a single hypervector
+via random-key binding.
+
+Quickstart
+----------
+>>> from repro import LookHDClassifier, LookHDConfig, load_application
+>>> data = load_application("activity")
+>>> clf = LookHDClassifier(LookHDConfig(dim=2000, levels=4, chunk_size=5))
+>>> clf.fit(data.train_features, data.train_labels, retrain_iterations=5)
+>>> clf.score(data.test_features, data.test_labels)  # doctest: +SKIP
+"""
+
+from repro.datasets import load_application
+from repro.hdc import BaselineHDClassifier
+from repro.lookhd import (
+    CompressedModel,
+    LookHDClassifier,
+    LookHDConfig,
+    LookupEncoder,
+)
+from repro.quantization import EqualizedQuantizer, LinearQuantizer
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "LookHDClassifier",
+    "LookHDConfig",
+    "BaselineHDClassifier",
+    "CompressedModel",
+    "LookupEncoder",
+    "EqualizedQuantizer",
+    "LinearQuantizer",
+    "load_application",
+]

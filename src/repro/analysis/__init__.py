@@ -1,0 +1,13 @@
+"""Analysis extensions: compression-capacity theory and noise robustness.
+
+Not figures of the paper, but direct quantifications of two of its
+claims: the Eq. 5 signal/noise decomposition admits a closed-form noise
+prediction (:mod:`repro.analysis.capacity`), and the intro's claim (iv)
+— HDC's strong robustness to hardware noise — is measurable by injecting
+faults into deployed models (:mod:`repro.analysis.robustness`).
+"""
+
+from repro.analysis.capacity import predict_noise_std, snr_sweep
+from repro.analysis.robustness import bit_flip_model, robustness_curve
+
+__all__ = ["predict_noise_std", "snr_sweep", "bit_flip_model", "robustness_curve"]

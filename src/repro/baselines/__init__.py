@@ -1,0 +1,7 @@
+"""Non-HDC comparators: a trainable NumPy MLP (Table IV) and a
+nearest-centroid sanity baseline."""
+
+from repro.baselines.mlp import MLPClassifier, MLPConfig
+from repro.baselines.nearest_centroid import NearestCentroidClassifier
+
+__all__ = ["MLPClassifier", "MLPConfig", "NearestCentroidClassifier"]

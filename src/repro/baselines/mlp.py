@@ -1,0 +1,138 @@
+"""A from-scratch NumPy multi-layer perceptron.
+
+This is the Table IV comparator: the paper measures LookHD against an MLP
+implemented with DNNWeaver (inference) and FPDeep (training) on the same
+FPGA.  The network here is a standard one-hidden-layer ReLU classifier
+trained with softmax cross-entropy and mini-batch SGD — deliberately plain,
+since the comparison is about operation counts and energy, not about
+squeezing MLP accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_2d, check_positive_int
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """MLP hyperparameters."""
+
+    hidden_units: int = 128
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 0.05
+    weight_decay: float = 1e-4
+    seed: int = 0
+
+    def __post_init__(self):
+        check_positive_int(self.hidden_units, "hidden_units")
+        check_positive_int(self.epochs, "epochs")
+        check_positive_int(self.batch_size, "batch_size")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier:
+    """One-hidden-layer ReLU MLP with softmax output.
+
+    Inputs are standardised with training-set statistics inside
+    :meth:`fit`, so callers pass raw features exactly as they do for the
+    HDC classifiers.
+    """
+
+    def __init__(self, config: MLPConfig | None = None):
+        self.config = config if config is not None else MLPConfig()
+        self.w1: np.ndarray | None = None
+        self.b1: np.ndarray | None = None
+        self.w2: np.ndarray | None = None
+        self.b2: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+        self.n_classes: int | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> list[float]:
+        """Train with SGD; returns the per-epoch training loss curve."""
+        cfg = self.config
+        batch = check_2d(features, "features").astype(np.float64)
+        labels = np.asarray(labels)
+        if labels.shape[0] != batch.shape[0]:
+            raise ValueError("labels must align with features")
+        self.n_classes = int(labels.max()) + 1
+        self._mean = batch.mean(axis=0)
+        self._std = batch.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        data = (batch - self._mean) / self._std
+
+        rng = derive_rng(cfg.seed, "mlp-init")
+        n_in = data.shape[1]
+        self.w1 = rng.standard_normal((n_in, cfg.hidden_units)) * np.sqrt(2.0 / n_in)
+        self.b1 = np.zeros(cfg.hidden_units)
+        self.w2 = rng.standard_normal((cfg.hidden_units, self.n_classes)) * np.sqrt(
+            2.0 / cfg.hidden_units
+        )
+        self.b2 = np.zeros(self.n_classes)
+
+        onehot = np.eye(self.n_classes)[labels]
+        losses: list[float] = []
+        order_rng = derive_rng(cfg.seed, "mlp-order")
+        for _ in range(cfg.epochs):
+            order = order_rng.permutation(data.shape[0])
+            epoch_loss = 0.0
+            for start in range(0, data.shape[0], cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                x, y = data[idx], onehot[idx]
+                hidden_pre = x @ self.w1 + self.b1
+                hidden = np.maximum(hidden_pre, 0.0)
+                probs = _softmax(hidden @ self.w2 + self.b2)
+                epoch_loss += float(
+                    -np.log(np.clip((probs * y).sum(axis=1), 1e-12, None)).sum()
+                )
+                grad_logits = (probs - y) / idx.shape[0]
+                grad_w2 = hidden.T @ grad_logits + cfg.weight_decay * self.w2
+                grad_b2 = grad_logits.sum(axis=0)
+                grad_hidden = (grad_logits @ self.w2.T) * (hidden_pre > 0)
+                grad_w1 = x.T @ grad_hidden + cfg.weight_decay * self.w1
+                grad_b1 = grad_hidden.sum(axis=0)
+                self.w1 -= cfg.learning_rate * grad_w1
+                self.b1 -= cfg.learning_rate * grad_b1
+                self.w2 -= cfg.learning_rate * grad_w2
+                self.b2 -= cfg.learning_rate * grad_b2
+            losses.append(epoch_loss / data.shape[0])
+        return losses
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for raw features."""
+        if self.w1 is None:
+            raise RuntimeError("classifier must be fitted before predicting")
+        batch = check_2d(features, "features").astype(np.float64)
+        data = (batch - self._mean) / self._std
+        hidden = np.maximum(data @ self.w1 + self.b1, 0.0)
+        return _softmax(hidden @ self.w2 + self.b2)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        single = np.asarray(features).ndim == 1
+        predictions = np.argmax(self.predict_proba(features), axis=1)
+        return int(predictions[0]) if single else predictions
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = np.atleast_1d(self.predict(features))
+        return float(np.mean(predictions == np.asarray(labels)))
+
+    def parameter_count(self) -> int:
+        """Total trainable parameters (drives the Table IV cost model)."""
+        if self.w1 is None:
+            raise RuntimeError("classifier must be fitted first")
+        return int(self.w1.size + self.b1.size + self.w2.size + self.b2.size)

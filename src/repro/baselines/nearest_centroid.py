@@ -1,0 +1,49 @@
+"""Nearest-centroid classifier.
+
+Not in the paper, but the natural "is the dataset even separable"
+yardstick: if nearest-centroid fails, no HDC variant can be expected to
+work, so experiments report it alongside HDC accuracies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+class NearestCentroidClassifier:
+    """Classify by Euclidean distance to per-class feature means."""
+
+    def __init__(self):
+        self.centroids: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "NearestCentroidClassifier":
+        features = check_2d(features, "features")
+        labels = np.asarray(labels)
+        if labels.shape[0] != features.shape[0]:
+            raise ValueError("labels must align with features")
+        n_classes = int(labels.max()) + 1
+        centroids = np.zeros((n_classes, features.shape[1]))
+        for class_index in range(n_classes):
+            members = features[labels == class_index]
+            if members.shape[0] == 0:
+                raise ValueError(f"class {class_index} has no training samples")
+            centroids[class_index] = members.mean(axis=0)
+        self.centroids = centroids
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.centroids is None:
+            raise RuntimeError("classifier must be fitted before predicting")
+        single = np.asarray(features).ndim == 1
+        batch = check_2d(features, "features")
+        distances = (
+            (batch[:, np.newaxis, :] - self.centroids[np.newaxis, :, :]) ** 2
+        ).sum(axis=2)
+        predictions = np.argmin(distances, axis=1)
+        return int(predictions[0]) if single else predictions
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        predictions = np.atleast_1d(self.predict(features))
+        return float(np.mean(predictions == np.asarray(labels)))

@@ -1,0 +1,142 @@
+"""Command-line interface.
+
+    python -m repro train --application activity --out model.npz
+    python -m repro evaluate --model model.npz --application activity
+    python -m repro experiment fig04 table01 ...
+    python -m repro list
+
+Training/evaluation run on the built-in synthetic stand-ins or on a
+user-supplied ``.npz``/CSV dataset (``--data``), so the CLI doubles as a
+quick harness for real data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.datasets.loaders import load_csv, load_npz
+from repro.datasets.registry import application_names, load_application
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.persistence import load_classifier, save_classifier
+
+_EXPERIMENTS = [
+    "fig02_breakdown",
+    "table01_characteristics",
+    "fig03_quantization_boundaries",
+    "fig04_quantization_accuracy",
+    "fig08_correlation",
+    "fig09_retraining",
+    "fig12_chunk_quant",
+    "table02_dimensionality",
+    "fig13_training_efficiency",
+    "fig14_inference_retraining",
+    "table03_gpu",
+    "fig15_scalability",
+    "fig16_resources",
+    "table04_mlp",
+]
+
+
+def _load_dataset(args):
+    if args.data:
+        if args.data.endswith(".npz"):
+            return load_npz(args.data)
+        return load_csv(args.data)
+    return load_application(args.application, train_limit=args.train_limit)
+
+
+def _cmd_train(args) -> int:
+    data = _load_dataset(args)
+    print(data.describe())
+    config = LookHDConfig(
+        dim=args.dim,
+        levels=args.levels,
+        chunk_size=args.chunk_size,
+        compress=not args.no_compress,
+        seed=args.seed,
+    )
+    clf = LookHDClassifier(config)
+    trace = clf.fit(
+        data.train_features, data.train_labels, retrain_iterations=args.retrain
+    )
+    accuracy = clf.score(data.test_features, data.test_labels)
+    print(f"test accuracy: {accuracy:.4f}")
+    if trace.iterations:
+        print(f"retraining updates per pass: {trace.updates_per_iteration}")
+    print(f"model size: {clf.model_size_bytes()} bytes")
+    if args.out:
+        path = save_classifier(clf, args.out)
+        print(f"saved model to {path}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    clf = load_classifier(args.model)
+    data = _load_dataset(args)
+    accuracy = clf.score(data.test_features, data.test_labels)
+    print(f"test accuracy: {accuracy:.4f} on {data.describe()}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    status = 0
+    for name in args.names:
+        if name not in _EXPERIMENTS:
+            print(f"unknown experiment {name!r}; choose from {_EXPERIMENTS}", file=sys.stderr)
+            status = 2
+            continue
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print(module.main())
+        print()
+    return status
+
+
+def _cmd_list(args) -> int:
+    print("applications:", ", ".join(application_names()))
+    print("experiments: ", ", ".join(_EXPERIMENTS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_data_args(p):
+        p.add_argument("--application", default="activity", choices=application_names())
+        p.add_argument("--data", help="path to a .npz or .csv dataset (overrides --application)")
+        p.add_argument("--train-limit", type=int, default=None)
+
+    train = sub.add_parser("train", help="train a LookHD classifier")
+    add_data_args(train)
+    train.add_argument("--dim", type=int, default=2_000)
+    train.add_argument("--levels", type=int, default=4)
+    train.add_argument("--chunk-size", type=int, default=5)
+    train.add_argument("--retrain", type=int, default=5)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--no-compress", action="store_true")
+    train.add_argument("--out", help="save the trained model to this .npz path")
+    train.set_defaults(func=_cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a saved model")
+    evaluate.add_argument("--model", required=True)
+    add_data_args(evaluate)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    experiment = sub.add_parser("experiment", help="run paper experiments")
+    experiment.add_argument("names", nargs="+", metavar="NAME")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser("list", help="list applications and experiments")
+    lister.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Dataset container and splitting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_2d, check_in_range
+
+
+@dataclass
+class Dataset:
+    """A labelled classification dataset with a train/test split.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    train_features, train_labels:
+        Training split; features ``(N, n)`` float, labels ``(N,)`` int.
+    test_features, test_labels:
+        Held-out split.
+    metadata:
+        Free-form provenance (generator parameters, paper reference values).
+    """
+
+    name: str
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.train_features = check_2d(self.train_features, "train_features")
+        self.test_features = check_2d(self.test_features, "test_features")
+        self.train_labels = np.asarray(self.train_labels)
+        self.test_labels = np.asarray(self.test_labels)
+        if self.train_features.shape[0] != self.train_labels.shape[0]:
+            raise ValueError("train features/labels misaligned")
+        if self.test_features.shape[0] != self.test_labels.shape[0]:
+            raise ValueError("test features/labels misaligned")
+        if self.train_features.shape[1] != self.test_features.shape[1]:
+            raise ValueError("train/test feature width mismatch")
+
+    @property
+    def n_features(self) -> int:
+        return int(self.train_features.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        labels = np.concatenate([self.train_labels, self.test_labels])
+        return int(labels.max()) + 1
+
+    @property
+    def n_train(self) -> int:
+        return int(self.train_features.shape[0])
+
+    @property
+    def n_test(self) -> int:
+        return int(self.test_features.shape[0])
+
+    def subsample_train(self, count: int, rng=0) -> "Dataset":
+        """A copy with at most ``count`` training samples (stratified-ish)."""
+        if count >= self.n_train:
+            return self
+        generator = ensure_rng(rng)
+        keep = generator.choice(self.n_train, size=count, replace=False)
+        return Dataset(
+            name=self.name,
+            train_features=self.train_features[keep],
+            train_labels=self.train_labels[keep],
+            test_features=self.test_features,
+            test_labels=self.test_labels,
+            metadata=dict(self.metadata, subsampled_train=count),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and example output."""
+        return (
+            f"{self.name}: n={self.n_features} features, k={self.n_classes} "
+            f"classes, {self.n_train} train / {self.n_test} test"
+        )
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.3,
+    rng=0,
+    name: str = "dataset",
+) -> Dataset:
+    """Shuffle and split raw arrays into a :class:`Dataset`."""
+    features = check_2d(features, "features")
+    labels = np.asarray(labels)
+    if labels.shape[0] != features.shape[0]:
+        raise ValueError("features/labels misaligned")
+    check_in_range(test_fraction, "test_fraction", 0.0, 1.0)
+    generator = ensure_rng(rng)
+    order = generator.permutation(features.shape[0])
+    n_test = int(round(features.shape[0] * test_fraction))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if train_idx.size == 0 or test_idx.size == 0:
+        raise ValueError("split produced an empty train or test set")
+    return Dataset(
+        name=name,
+        train_features=features[train_idx],
+        train_labels=labels[train_idx],
+        test_features=features[test_idx],
+        test_labels=labels[test_idx],
+    )

@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning plain data
+structures (lists of dataclasses / dicts) plus a ``main()`` that prints
+the paper-style table.  The benchmark suite under ``benchmarks/`` invokes
+the same ``run`` functions, so the numbers in EXPERIMENTS.md are exactly
+reproducible from either entry point.
+
+| module | reproduces |
+|---|---|
+| ``fig02_breakdown`` | Fig. 2 — encoding/search share of runtime |
+| ``table01_characteristics`` | Table I — app characteristics + baseline accuracy |
+| ``fig03_quantization_boundaries`` | Fig. 3 — linear vs equalized boundaries |
+| ``fig04_quantization_accuracy`` | Fig. 4 — accuracy vs q for both quantizers |
+| ``fig08_correlation`` | Fig. 8 — cosine spread before/after decorrelation |
+| ``fig09_retraining`` | Fig. 9 — accuracy across retraining iterations |
+| ``fig12_chunk_quant`` | Fig. 12 — accuracy vs chunk size × q |
+| ``table02_dimensionality`` | Table II — accuracy vs D |
+| ``fig13_training_efficiency`` | Fig. 13 — training speedup/energy |
+| ``fig14_inference_retraining`` | Fig. 14 — inference/retraining time & energy |
+| ``table03_gpu`` | Table III — LookHD vs GPU |
+| ``fig15_scalability`` | Fig. 15 — compression scalability with k |
+| ``fig16_resources`` | Fig. 16 — FPGA resource utilisation |
+| ``table04_mlp`` | Table IV — LookHD vs FPGA MLP |
+"""
+
+from repro.experiments.report import format_table
+
+__all__ = ["format_table"]

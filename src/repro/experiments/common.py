@@ -1,0 +1,47 @@
+"""Shared configuration for the experiment drivers."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import APPLICATIONS, ApplicationSpec
+from repro.hw.opcounts import WorkloadShape
+
+#: Training-set sizes of the paper's real datasets; the hardware models
+#: evaluate at these scales (the synthetic accuracy datasets are smaller
+#: to keep the Python experiments fast — the analytical models don't care).
+PAPER_TRAIN_SIZES: dict[str, int] = {
+    "speech": 6_238,     # ISOLET
+    "activity": 7_352,   # UCIHAR
+    "physical": 9_120,   # PAMAP2 (windowed subset)
+    "face": 22_000,      # face-image corpus
+    "extra": 16_000,     # ExtraSensory windows
+}
+
+#: Paper efficiency-study dimensionality (Sec. VI-B).
+EFFICIENCY_DIM = 2_000
+#: Paper default chunk size (Sec. VI-B: "r = 5 is enough").
+DEFAULT_CHUNK = 5
+
+
+def workload_shape(
+    name: str,
+    dim: int = EFFICIENCY_DIM,
+    levels: int | None = None,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> WorkloadShape:
+    """Hardware-model workload for one paper application."""
+    app = APPLICATIONS[name]
+    return WorkloadShape(
+        n_features=app.spec.n_features,
+        n_classes=app.spec.n_classes,
+        dim=dim,
+        levels=levels if levels is not None else app.lookhd_q,
+        chunk_size=chunk_size,
+    )
+
+
+def paper_train_size(name: str) -> int:
+    return PAPER_TRAIN_SIZES[name]
+
+
+def application(name: str) -> ApplicationSpec:
+    return APPLICATIONS[name]

@@ -1,0 +1,89 @@
+"""Fig. 2 — execution-time breakdown of baseline HDC on the ARM CPU.
+
+The paper's motivation figure: encoding dominates training (~80% across
+the five applications, ~90% for SPEECH) and associative search dominates
+inference (~83%).  We reproduce it from the op-count model evaluated on
+the A53 platform, phase by phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import application_names
+from repro.experiments.common import paper_train_size, workload_shape
+from repro.experiments.report import format_table
+from repro.hw.arm import ArmCortexA53
+from repro.hw.opcounts import (
+    OpCounts,
+    baseline_encoding_ops,
+    baseline_full_cosine_search_ops,
+)
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """Phase shares for one application."""
+
+    application: str
+    train_encoding_share: float
+    train_update_share: float
+    infer_encoding_share: float
+    infer_search_share: float
+
+
+def run(platform=None) -> list[BreakdownRow]:
+    """Compute phase time shares for all five applications."""
+    platform = platform if platform is not None else ArmCortexA53()
+    rows = []
+    for name in application_names():
+        shape = workload_shape(name, levels=16)  # baseline uses high q
+        n_samples = paper_train_size(name)
+        encode = platform.run(baseline_encoding_ops(shape).scaled(n_samples))
+        # Training's non-encoding part: the class bundling updates.
+        bundle = platform.run(
+            OpCounts(
+                adds=shape.dim, reads=shape.dim, writes=shape.dim,
+                add_bits=32, mem_bits=32,
+            ).scaled(n_samples)
+        )
+        train_total = encode.seconds + bundle.seconds
+        # Fig. 2 profiles the *unoptimised* baseline: full cosine (three
+        # dot products per class) before the Sec. IV-A simplification.
+        encode_q = platform.run(baseline_encoding_ops(shape))
+        search_q = platform.run(baseline_full_cosine_search_ops(shape))
+        infer_total = encode_q.seconds + search_q.seconds
+        rows.append(
+            BreakdownRow(
+                application=name,
+                train_encoding_share=encode.seconds / train_total,
+                train_update_share=bundle.seconds / train_total,
+                infer_encoding_share=encode_q.seconds / infer_total,
+                infer_search_share=search_q.seconds / infer_total,
+            )
+        )
+    return rows
+
+
+def main() -> str:
+    rows = run()
+    avg_train = sum(r.train_encoding_share for r in rows) / len(rows)
+    avg_infer = sum(r.infer_search_share for r in rows) / len(rows)
+    table = format_table(
+        ["app", "train: encoding", "train: update", "infer: encoding", "infer: search"],
+        [
+            [r.application, r.train_encoding_share, r.train_update_share,
+             r.infer_encoding_share, r.infer_search_share]
+            for r in rows
+        ],
+        title="Fig. 2 — baseline HDC phase breakdown (ARM model)",
+    )
+    table += (
+        f"\naverage encoding share of training: {avg_train:.1%} (paper ~80%)"
+        f"\naverage search share of inference:  {avg_infer:.1%} (paper ~83%)"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,82 @@
+"""Fig. 8 — cosine-similarity distribution before/after decorrelation.
+
+Trains the ACTIVITY model, scores 1,000 test-like queries against the
+class hypervectors, and compares the cosine distributions of the original
+vs decorrelated model: the original concentrates in [0.9, 1.0] (classes
+highly correlated), the decorrelated model spreads far wider — which is
+what makes compression noise harmless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.registry import load_application
+from repro.hdc.similarity import normalize_rows
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.compression import decorrelate_classes
+from repro.lookhd.noise import query_cosine_distribution
+
+
+@dataclass(frozen=True)
+class CorrelationReport:
+    application: str
+    original_cosines: np.ndarray
+    decorrelated_cosines: np.ndarray
+
+    @property
+    def original_spread(self) -> float:
+        return float(self.original_cosines.max() - self.original_cosines.min())
+
+    @property
+    def decorrelated_spread(self) -> float:
+        return float(
+            self.decorrelated_cosines.max() - self.decorrelated_cosines.min()
+        )
+
+    @property
+    def original_mean(self) -> float:
+        return float(self.original_cosines.mean())
+
+    @property
+    def decorrelated_mean(self) -> float:
+        return float(self.decorrelated_cosines.mean())
+
+
+def run(
+    application: str = "activity",
+    n_queries: int = 1_000,
+    dim: int = 2_000,
+    train_limit: int | None = None,
+) -> CorrelationReport:
+    data = load_application(application, train_limit=train_limit)
+    clf = LookHDClassifier(LookHDConfig(dim=dim, compress=False))
+    clf.fit(data.train_features, data.train_labels)
+    queries = clf.encoder.encode_many(data.test_features)[:n_queries]
+
+    original = normalize_rows(clf.class_model.class_vectors)
+    decorrelated = decorrelate_classes(original)
+    return CorrelationReport(
+        application=application,
+        original_cosines=query_cosine_distribution(original, queries),
+        decorrelated_cosines=query_cosine_distribution(decorrelated, queries),
+    )
+
+
+def main() -> str:
+    report = run()
+    return (
+        f"Fig. 8 — cosine distributions ({report.application})\n"
+        f"original:     mean {report.original_mean:.3f}, "
+        f"spread {report.original_spread:.3f} "
+        f"(paper: concentrated in [0.9, 1.0])\n"
+        f"decorrelated: mean {report.decorrelated_mean:.3f}, "
+        f"spread {report.decorrelated_spread:.3f} "
+        f"(paper: much wider distribution)"
+    )
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,87 @@
+"""Fig. 12 — LookHD accuracy vs chunk size and quantization levels.
+
+The paper's grid (D = 2,000): accuracy generally improves with chunk size
+(fewer position hypervectors to aggregate) and, thanks to equalized
+quantization, changes only mildly with q; r = 5 and q ∈ {2, 4} suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import load_application
+from repro.experiments.report import format_table
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    application: str
+    chunk_size: int
+    levels: int
+    accuracy: float
+
+
+def run(
+    applications: tuple[str, ...] = ("speech", "activity", "physical", "face", "extra"),
+    chunk_grid: tuple[int, ...] = (2, 3, 5, 7),
+    level_grid: tuple[int, ...] = (2, 4, 8),
+    dim: int = 2_000,
+    retrain_iterations: int = 3,
+    train_limit: int | None = None,
+) -> list[GridPoint]:
+    points = []
+    for name in applications:
+        data = load_application(name, train_limit=train_limit)
+        for levels in level_grid:
+            for chunk in chunk_grid:
+                if levels**chunk > 2**18:
+                    continue  # table would not fit BRAM; the paper skips these too
+                clf = LookHDClassifier(
+                    LookHDConfig(dim=dim, levels=levels, chunk_size=chunk)
+                )
+                clf.fit(
+                    data.train_features,
+                    data.train_labels,
+                    retrain_iterations=retrain_iterations,
+                )
+                points.append(
+                    GridPoint(
+                        application=name,
+                        chunk_size=chunk,
+                        levels=levels,
+                        accuracy=clf.score(data.test_features, data.test_labels),
+                    )
+                )
+    return points
+
+
+def main(
+    applications: tuple[str, ...] = ("activity", "physical"),
+    train_limit: int | None = 300,
+) -> str:
+    points = run(applications=applications, train_limit=train_limit)
+    tables = []
+    for name in applications:
+        subset = [p for p in points if p.application == name]
+        chunks = sorted({p.chunk_size for p in subset})
+        levels = sorted({p.levels for p in subset})
+        rows = []
+        for q in levels:
+            row = [q]
+            for r in chunks:
+                match = [p for p in subset if p.levels == q and p.chunk_size == r]
+                row.append(match[0].accuracy if match else "-")
+            rows.append(row)
+        tables.append(
+            format_table(
+                ["q \\ r"] + [str(c) for c in chunks],
+                rows,
+                title=f"Fig. 12 — {name} accuracy grid",
+            )
+        )
+    return "\n\n".join(tables)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,92 @@
+"""Fig. 13 — training speedup and energy efficiency of LookHD.
+
+For each application and q ∈ {2, 4, 8}, the modelled training time and
+energy of LookHD vs the baseline HDC on both the FPGA and the ARM CPU,
+at the paper's dataset scales.  Paper averages: FPGA 28.3×/97.4× at q=2
+and 14.1×/48.7× at q=4; CPU 3.9×/7.5× and 2.6×/3.8×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.registry import application_names
+from repro.experiments.common import paper_train_size, workload_shape
+from repro.experiments.report import format_table
+from repro.hw.arm import ArmCortexA53
+from repro.hw.fpga import KintexFpga
+from repro.hw.scenarios import baseline_training, lookhd_training
+from repro.utils.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class TrainingEfficiencyRow:
+    application: str
+    platform: str
+    levels: int
+    speedup: float
+    energy_efficiency: float
+
+
+def run(
+    level_grid: tuple[int, ...] = (2, 4, 8),
+    baseline_levels: int = 16,
+) -> list[TrainingEfficiencyRow]:
+    platforms = {"fpga": KintexFpga(), "cpu": ArmCortexA53()}
+    rows = []
+    for name in application_names():
+        n_samples = paper_train_size(name)
+        base_shape = workload_shape(name, levels=baseline_levels)
+        for platform_name, platform in platforms.items():
+            base = baseline_training(platform, base_shape, n_samples)
+            for levels in level_grid:
+                shape = workload_shape(name, levels=levels)
+                look = lookhd_training(platform, shape, n_samples)
+                rows.append(
+                    TrainingEfficiencyRow(
+                        application=name,
+                        platform=platform_name,
+                        levels=levels,
+                        speedup=base.seconds / look.seconds,
+                        energy_efficiency=base.joules / look.joules,
+                    )
+                )
+    return rows
+
+
+def averages(rows: list[TrainingEfficiencyRow]) -> dict[tuple[str, int], tuple[float, float]]:
+    """Geometric-mean speedup/energy per (platform, q)."""
+    out = {}
+    for platform in {r.platform for r in rows}:
+        for levels in {r.levels for r in rows}:
+            subset = [r for r in rows if r.platform == platform and r.levels == levels]
+            if subset:
+                out[(platform, levels)] = (
+                    geometric_mean(np.array([r.speedup for r in subset])),
+                    geometric_mean(np.array([r.energy_efficiency for r in subset])),
+                )
+    return out
+
+
+def main() -> str:
+    rows = run()
+    table = format_table(
+        ["app", "platform", "q", "speedup", "energy eff."],
+        [[r.application, r.platform, r.levels, r.speedup, r.energy_efficiency] for r in rows],
+        title="Fig. 13 — LookHD training efficiency vs baseline HDC (modelled)",
+    )
+    avg = averages(rows)
+    lines = [table, ""]
+    paper = {("fpga", 2): (28.3, 97.4), ("fpga", 4): (14.1, 48.7),
+             ("cpu", 2): (3.9, 7.5), ("cpu", 4): (2.6, 3.8)}
+    for key, (speed, energy) in sorted(avg.items()):
+        ref = paper.get(key)
+        suffix = f" (paper {ref[0]}x/{ref[1]}x)" if ref else ""
+        lines.append(f"{key[0]} q={key[1]}: {speed:.1f}x faster, {energy:.1f}x energy{suffix}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

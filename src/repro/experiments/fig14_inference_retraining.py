@@ -1,0 +1,105 @@
+"""Fig. 14 — per-query inference and per-iteration retraining efficiency.
+
+Modelled single-query latency/energy (panel a) and single retraining
+iteration (panel b) for LookHD vs baseline HDC on FPGA and CPU.  Paper
+averages: inference FPGA 2.2×/4.1×, CPU 1.7×/2.3×; retraining FPGA
+2.4×/4.5×, CPU 1.8×/2.3×, with the largest gains on SPEECH (most
+classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.registry import application_names
+from repro.experiments.common import paper_train_size, workload_shape
+from repro.experiments.report import format_table
+from repro.hw.arm import ArmCortexA53
+from repro.hw.fpga import KintexFpga
+from repro.hw.scenarios import (
+    baseline_inference,
+    baseline_retraining,
+    lookhd_inference,
+    lookhd_retraining,
+)
+from repro.utils.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class InferenceRow:
+    application: str
+    platform: str
+    phase: str  # "inference" | "retraining"
+    baseline_seconds: float
+    lookhd_seconds: float
+    baseline_joules: float
+    lookhd_joules: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_seconds / self.lookhd_seconds
+
+    @property
+    def energy_efficiency(self) -> float:
+        return self.baseline_joules / self.lookhd_joules
+
+
+def run(baseline_levels: int = 16) -> list[InferenceRow]:
+    platforms = {"fpga": KintexFpga(), "cpu": ArmCortexA53()}
+    rows = []
+    for name in application_names():
+        base_shape = workload_shape(name, levels=baseline_levels)
+        look_shape = workload_shape(name)
+        n_samples = paper_train_size(name)
+        for platform_name, platform in platforms.items():
+            base_inf = baseline_inference(platform, base_shape)
+            look_inf = lookhd_inference(platform, look_shape)
+            rows.append(
+                InferenceRow(name, platform_name, "inference",
+                             base_inf.seconds, look_inf.seconds,
+                             base_inf.joules, look_inf.joules)
+            )
+            base_ret = baseline_retraining(platform, base_shape, n_samples)
+            look_ret = lookhd_retraining(platform, look_shape, n_samples)
+            rows.append(
+                InferenceRow(name, platform_name, "retraining",
+                             base_ret.seconds, look_ret.seconds,
+                             base_ret.joules, look_ret.joules)
+            )
+    return rows
+
+
+def averages(rows: list[InferenceRow]) -> dict[tuple[str, str], tuple[float, float]]:
+    out = {}
+    for platform in {r.platform for r in rows}:
+        for phase in {r.phase for r in rows}:
+            subset = [r for r in rows if r.platform == platform and r.phase == phase]
+            if subset:
+                out[(platform, phase)] = (
+                    geometric_mean(np.array([r.speedup for r in subset])),
+                    geometric_mean(np.array([r.energy_efficiency for r in subset])),
+                )
+    return out
+
+
+def main() -> str:
+    rows = run()
+    table = format_table(
+        ["app", "platform", "phase", "speedup", "energy eff."],
+        [[r.application, r.platform, r.phase, r.speedup, r.energy_efficiency] for r in rows],
+        title="Fig. 14 — inference & retraining efficiency (modelled)",
+    )
+    paper = {("fpga", "inference"): (2.2, 4.1), ("cpu", "inference"): (1.7, 2.3),
+             ("fpga", "retraining"): (2.4, 4.5), ("cpu", "retraining"): (1.8, 2.3)}
+    lines = [table, ""]
+    for key, (speed, energy) in sorted(averages(rows).items()):
+        ref = paper.get(key)
+        suffix = f" (paper {ref[0]}x/{ref[1]}x)" if ref else ""
+        lines.append(f"{key[0]} {key[1]}: {speed:.2f}x faster, {energy:.2f}x energy{suffix}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

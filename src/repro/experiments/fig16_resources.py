@@ -1,0 +1,75 @@
+"""Fig. 16 — FPGA resource utilisation of LookHD training and inference.
+
+Reports the per-resource busy fractions of the Kintex-7 model for the
+SPEECH configuration (k = 26, n = 617), matching the paper's finding
+that inference is DSP-limited while training is LUT-limited, plus the
+FACE contrast (k = 2: LUT-limited everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import paper_train_size, workload_shape
+from repro.experiments.report import format_table
+from repro.hw.fpga import KintexFpga
+from repro.hw.opcounts import (
+    lookhd_encoding_ops,
+    lookhd_search_ops,
+    lookhd_training_ops,
+)
+
+
+@dataclass(frozen=True)
+class UtilizationRow:
+    application: str
+    phase: str
+    fabric: float
+    dsp: float
+    bram: float
+
+    @property
+    def bottleneck(self) -> str:
+        shares = {"fabric": self.fabric, "dsp": self.dsp, "bram": self.bram}
+        return max(shares, key=shares.get)
+
+
+def run(applications: tuple[str, ...] = ("speech", "face")) -> list[UtilizationRow]:
+    fpga = KintexFpga()
+    rows = []
+    for name in applications:
+        shape = workload_shape(name)
+        for phase, ops in (
+            ("training", [lookhd_training_ops(shape, paper_train_size(name))]),
+            # Inference is the encode/search pipeline; cost stages with
+            # their own operand widths.
+            ("inference", [lookhd_encoding_ops(shape), lookhd_search_ops(shape)]),
+        ):
+            util = fpga.utilization_report(ops)
+            rows.append(
+                UtilizationRow(
+                    application=name,
+                    phase=phase,
+                    fabric=util.get("fabric", 0.0),
+                    dsp=util.get("dsp", 0.0),
+                    bram=util.get("bram", 0.0),
+                )
+            )
+    return rows
+
+
+def main() -> str:
+    rows = run()
+    table = format_table(
+        ["app", "phase", "LUT/FF", "DSP", "BRAM", "bottleneck"],
+        [[r.application, r.phase, r.fabric, r.dsp, r.bram, r.bottleneck] for r in rows],
+        title="Fig. 16 — relative resource busy-time (modelled)",
+    )
+    return table + (
+        "\npaper: SPEECH inference is DSP-limited, SPEECH training "
+        "LUT-limited; FACE (k=2) is LUT-limited in both phases"
+    )
+
+
+if __name__ == "__main__":
+    print(main())

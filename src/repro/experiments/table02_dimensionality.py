@@ -1,0 +1,75 @@
+"""Table II — impact of hypervector dimensionality on LookHD accuracy.
+
+Sweeps D for every application at r = 5 and the per-application q from
+the paper's table; accuracy is nearly flat from D = 1,000 upward (LookHD
+at D = 2,000 ≈ HDC at D = 10,000, the paper's headline robustness claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import APPLICATIONS, application_names, load_application
+from repro.experiments.report import format_table
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+@dataclass(frozen=True)
+class DimensionalityRow:
+    application: str
+    levels: int
+    accuracies: dict[int, float]
+    paper_accuracy_d2000: float
+
+
+def run(
+    dim_grid: tuple[int, ...] = (1_000, 2_000, 4_000, 8_000, 10_000),
+    retrain_iterations: int = 5,
+    train_limit: int | None = None,
+    applications: tuple[str, ...] | None = None,
+) -> list[DimensionalityRow]:
+    names = applications if applications is not None else tuple(application_names())
+    rows = []
+    for name in names:
+        app = APPLICATIONS[name]
+        data = load_application(name, train_limit=train_limit)
+        accuracies = {}
+        for dim in dim_grid:
+            clf = LookHDClassifier(LookHDConfig(dim=dim, levels=app.lookhd_q))
+            clf.fit(
+                data.train_features,
+                data.train_labels,
+                retrain_iterations=retrain_iterations,
+            )
+            accuracies[dim] = clf.score(data.test_features, data.test_labels)
+        rows.append(
+            DimensionalityRow(
+                application=name,
+                levels=app.lookhd_q,
+                accuracies=accuracies,
+                paper_accuracy_d2000=app.paper_lookhd_accuracy_d2000,
+            )
+        )
+    return rows
+
+
+def main(
+    dim_grid: tuple[int, ...] = (1_000, 2_000, 4_000),
+    train_limit: int | None = 400,
+    applications: tuple[str, ...] | None = ("activity", "physical", "face"),
+) -> str:
+    rows = run(dim_grid=dim_grid, train_limit=train_limit, applications=applications)
+    return format_table(
+        ["app", "q"] + [f"D={d}" for d in dim_grid] + ["paper D=2000"],
+        [
+            [r.application, r.levels]
+            + [r.accuracies[d] for d in dim_grid]
+            + [r.paper_accuracy_d2000]
+            for r in rows
+        ],
+        title="Table II — LookHD accuracy vs dimensionality",
+    )
+
+
+if __name__ == "__main__":
+    print(main())

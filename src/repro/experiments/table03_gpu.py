@@ -1,0 +1,102 @@
+"""Table III — LookHD (FPGA) vs GPU implementation of baseline HDC.
+
+All numbers normalised to the ARM CPU baseline, as in the paper.  The
+paper finds the GTX 1080 trains/infers 1.5×/1.3× faster than the FPGA
+*baseline* HDC, but LookHD on FPGA is still 1.1×/1.5× faster than the
+GPU — and 67.5×/112.7× more energy-efficient (training/inference) — and
+reducing D buys a further ~1.2×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.registry import application_names
+from repro.experiments.common import paper_train_size, workload_shape
+from repro.experiments.report import format_table
+from repro.hw.arm import ArmCortexA53
+from repro.hw.fpga import KintexFpga
+from repro.hw.gpu import Gtx1080
+from repro.hw.scenarios import (
+    baseline_inference,
+    baseline_training,
+    lookhd_inference,
+    lookhd_training,
+)
+from repro.utils.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class GpuComparison:
+    """Geometric-mean ratios over the five applications (vs CPU baseline)."""
+
+    label: str
+    train_speedup_vs_cpu: float
+    train_energy_vs_cpu: float
+    infer_speedup_vs_cpu: float
+    infer_energy_vs_cpu: float
+
+
+def run(dims: tuple[int, ...] = (2_000, 1_000)) -> list[GpuComparison]:
+    cpu, fpga, gpu = ArmCortexA53(), KintexFpga(), Gtx1080()
+    comparisons = []
+
+    def collect(label, train_fn, infer_fn, platform, dim):
+        train_speed, train_energy, infer_speed, infer_energy = [], [], [], []
+        for name in application_names():
+            n_samples = paper_train_size(name)
+            shape = workload_shape(name, dim=dim)
+            base_shape = workload_shape(name, dim=2_000, levels=16)
+            cpu_train = baseline_training(cpu, base_shape, n_samples)
+            cpu_infer = baseline_inference(cpu, base_shape)
+            train = train_fn(platform, shape, n_samples)
+            infer = infer_fn(platform, shape)
+            train_speed.append(cpu_train.seconds / train.seconds)
+            train_energy.append(cpu_train.joules / train.joules)
+            infer_speed.append(cpu_infer.seconds / infer.seconds)
+            infer_energy.append(cpu_infer.joules / infer.joules)
+        comparisons.append(
+            GpuComparison(
+                label=label,
+                train_speedup_vs_cpu=geometric_mean(np.array(train_speed)),
+                train_energy_vs_cpu=geometric_mean(np.array(train_energy)),
+                infer_speedup_vs_cpu=geometric_mean(np.array(infer_speed)),
+                infer_energy_vs_cpu=geometric_mean(np.array(infer_energy)),
+            )
+        )
+
+    collect("baseline HDC on GPU", baseline_training, baseline_inference, gpu, 2_000)
+    collect("baseline HDC on FPGA", baseline_training, baseline_inference, fpga, 2_000)
+    for dim in dims:
+        collect(f"LookHD on FPGA (D={dim})", lookhd_training, lookhd_inference, fpga, dim)
+    return comparisons
+
+
+def main() -> str:
+    comparisons = run()
+    table = format_table(
+        ["configuration", "train speedup", "train energy", "infer speedup", "infer energy"],
+        [
+            [c.label, c.train_speedup_vs_cpu, c.train_energy_vs_cpu,
+             c.infer_speedup_vs_cpu, c.infer_energy_vs_cpu]
+            for c in comparisons
+        ],
+        title="Table III — normalised to CPU baseline (modelled)",
+    )
+    gpu = next(c for c in comparisons if "GPU" in c.label)
+    look = next(c for c in comparisons if c.label.startswith("LookHD") and "2000" in c.label)
+    table += (
+        f"\nLookHD vs GPU: train {look.train_speedup_vs_cpu / gpu.train_speedup_vs_cpu:.2f}x "
+        f"faster (paper 1.1x), infer "
+        f"{look.infer_speedup_vs_cpu / gpu.infer_speedup_vs_cpu:.2f}x faster (paper 1.5x); "
+        f"energy train {look.train_energy_vs_cpu / gpu.train_energy_vs_cpu:.1f}x "
+        f"(paper 67.5x), infer "
+        f"{look.infer_energy_vs_cpu / gpu.infer_energy_vs_cpu:.1f}x (paper 112.7x)"
+    )
+    return table
+
+
+if __name__ == "__main__":
+    print(main())

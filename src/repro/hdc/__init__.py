@@ -1,0 +1,40 @@
+"""Baseline hyperdimensional-computing substrate.
+
+This subpackage implements conventional (non-LookHD) HDC exactly as
+described in Section II of the paper: bipolar level hypervectors,
+permutation-based record encoding (Eq. 1), class-hypervector training with
+perceptron-style retraining, and cosine associative search.  It is both the
+baseline every experiment compares against and the mathematical foundation
+the LookHD modules build on.
+"""
+
+from repro.hdc.binary import BinaryHDClassifier
+from repro.hdc.bitpacked import PackedAssociativeMemory, pack_bipolar, unpack_bipolar
+from repro.hdc.classifier import BaselineHDClassifier
+from repro.hdc.clustering import hd_kmeans
+from repro.hdc.encoder import RecordEncoder
+from repro.hdc.item_memory import LevelItemMemory, RandomItemMemory
+from repro.hdc.model import ClassModel
+from repro.hdc.ops import bind, bundle, permute, random_bipolar, sign_quantize
+from repro.hdc.similarity import cosine_similarity, dot_similarity, hamming_similarity
+
+__all__ = [
+    "BaselineHDClassifier",
+    "BinaryHDClassifier",
+    "PackedAssociativeMemory",
+    "pack_bipolar",
+    "unpack_bipolar",
+    "hd_kmeans",
+    "RecordEncoder",
+    "LevelItemMemory",
+    "RandomItemMemory",
+    "ClassModel",
+    "bind",
+    "bundle",
+    "permute",
+    "random_bipolar",
+    "sign_quantize",
+    "cosine_similarity",
+    "dot_similarity",
+    "hamming_similarity",
+]

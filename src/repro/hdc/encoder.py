@@ -1,0 +1,85 @@
+"""Baseline record-based HDC encoder (Eq. 1 of the paper).
+
+A feature vector ``F = (f_1 … f_n)`` is encoded as
+
+    H = L(f_1) + ρ L(f_2) + … + ρ^(n−1) L(f_n)
+
+where ``L(·)`` maps each quantized feature value to its level hypervector
+and ``ρ^i`` is a circular rotation by ``i`` positions that preserves the
+feature's index.  This is the costly ``O(n · D)`` module LookHD replaces
+with table lookups; it is retained here as the exact baseline used in every
+comparison figure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.item_memory import LevelItemMemory
+from repro.hdc.ops import ACCUM_DTYPE
+from repro.quantization.base import Quantizer
+from repro.utils.validation import check_2d, check_positive_int
+
+
+class RecordEncoder:
+    """Permutation-based record encoder over a level item memory.
+
+    Parameters
+    ----------
+    quantizer:
+        Fitted quantizer mapping raw feature values to level indices in
+        ``[0, q)``.
+    item_memory:
+        Level hypervectors; ``item_memory.levels`` must equal the
+        quantizer's level count.
+    n_features:
+        Expected feature count ``n``; encoding validates input width.
+    """
+
+    def __init__(self, quantizer: Quantizer, item_memory: LevelItemMemory, n_features: int):
+        if item_memory.levels != quantizer.levels:
+            raise ValueError(
+                f"item memory has {item_memory.levels} levels but quantizer "
+                f"produces {quantizer.levels}"
+            )
+        self.quantizer = quantizer
+        self.item_memory = item_memory
+        self.n_features = check_positive_int(n_features, "n_features")
+        self.dim = item_memory.dim
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode one sample or a batch.
+
+        Parameters
+        ----------
+        features:
+            ``(n,)`` or ``(N, n)`` raw feature values.
+
+        Returns
+        -------
+        ``(D,)`` or ``(N, D)`` integer hypervector(s).
+        """
+        single = np.asarray(features).ndim == 1
+        batch = check_2d(features, "features")
+        if batch.shape[1] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features, got {batch.shape[1]}"
+            )
+        levels = self.quantizer.transform(batch)  # (N, n) int level indices
+        encoded = np.zeros((batch.shape[0], self.dim), dtype=ACCUM_DTYPE)
+        # Accumulate ρ^(i) L(f_i) feature by feature.  Rolling the level
+        # vectors (not the accumulator) keeps this a single pass.
+        for index in range(self.n_features):
+            level_vectors = self.item_memory[levels[:, index]]  # (N, D)
+            encoded += np.roll(level_vectors, index, axis=1).astype(ACCUM_DTYPE)
+        return encoded[0] if single else encoded
+
+    def encode_many(self, features: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Encode a large dataset in memory-bounded batches."""
+        batch = check_2d(features, "features")
+        check_positive_int(batch_size, "batch_size")
+        chunks = [
+            self.encode(batch[start : start + batch_size])
+            for start in range(0, batch.shape[0], batch_size)
+        ]
+        return np.vstack(chunks)

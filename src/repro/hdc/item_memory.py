@@ -1,0 +1,108 @@
+"""Item memories: the hypervector "alphabets" of Section II-A.
+
+Two flavours:
+
+* :class:`RandomItemMemory` — independent random bipolar hypervectors, one
+  per symbol; all pairs nearly orthogonal.  Used for the position
+  hypervectors ``P``/``P'`` in LookHD.
+* :class:`LevelItemMemory` — correlated level hypervectors for quantized
+  scalar values: the first level is random, each subsequent level re-fills
+  ``D/q`` random dimensions of the previous one, so neighbouring levels are
+  similar while the extreme levels are nearly orthogonal (paper, Sec. II-A
+  "Alphabets Generation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.ops import BIPOLAR_DTYPE, random_bipolar
+from repro.hdc.similarity import cosine_similarity
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive_int
+
+
+class RandomItemMemory:
+    """A table of ``count`` independent random bipolar hypervectors.
+
+    Parameters
+    ----------
+    count:
+        Number of symbols.
+    dim:
+        Hypervector dimensionality ``D``.
+    rng:
+        Seed or generator; same seed → same memory.
+    """
+
+    def __init__(self, count: int, dim: int, rng: int | np.random.Generator | None = None):
+        self.count = check_positive_int(count, "count")
+        self.dim = check_positive_int(dim, "dim")
+        self.vectors = random_bipolar((self.count, self.dim), rng=derive_rng(rng, "random-item"))
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index) -> np.ndarray:
+        """Return the hypervector(s) for ``index`` (int or integer array)."""
+        return self.vectors[index]
+
+    def cross_similarity(self) -> np.ndarray:
+        """Pairwise cosine similarity matrix; off-diagonal ≈ 0 for large D."""
+        return cosine_similarity(self.vectors, self.vectors)
+
+
+class LevelItemMemory:
+    """Correlated level hypervectors ``L_1 … L_q`` for quantized scalars.
+
+    ``L_1`` represents ``f_min`` and ``L_q`` represents ``f_max``.  A random
+    permutation of the dimensions is split into ``q − 1`` disjoint blocks of
+    ``D / (2(q − 1))``; each level flips the signs of its block in the
+    previous level.  Flips never overlap, so cosine similarity decays
+    *linearly* with level distance and exactly ``D/2`` dimensions separate
+    the endpoints: ``δ(L_1, L_q) = 0`` — the distance-preserving alphabet
+    of Sec. II-A ("filling D/q random dimensions of the previous level").
+
+    Parameters
+    ----------
+    levels:
+        Number of quantization levels ``q`` (≥ 1).
+    dim:
+        Hypervector dimensionality ``D``.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(self, levels: int, dim: int, rng: int | np.random.Generator | None = None):
+        self.levels = check_positive_int(levels, "levels")
+        self.dim = check_positive_int(dim, "dim")
+        generator = derive_rng(rng, "level-item")
+        vectors = np.empty((self.levels, self.dim), dtype=BIPOLAR_DTYPE)
+        vectors[0] = random_bipolar(self.dim, rng=generator)
+        if self.levels > 1:
+            permutation = generator.permutation(self.dim)
+            flip_budget = self.dim // 2
+            block_edges = np.linspace(0, flip_budget, self.levels, dtype=int)
+            for level in range(1, self.levels):
+                vectors[level] = vectors[level - 1]
+                block = permutation[block_edges[level - 1] : block_edges[level]]
+                vectors[level, block] = -vectors[level, block]
+        self.vectors = vectors
+
+    def __len__(self) -> int:
+        return self.levels
+
+    def __getitem__(self, index) -> np.ndarray:
+        """Return the level hypervector(s) for quantized level index(es)."""
+        return self.vectors[index]
+
+    def neighbour_similarity(self) -> np.ndarray:
+        """Cosine similarity between consecutive levels (length q−1)."""
+        if self.levels < 2:
+            return np.empty(0, dtype=np.float64)
+        sims = cosine_similarity(self.vectors[:-1], self.vectors[1:])
+        return np.diagonal(np.atleast_2d(sims)) if sims.ndim == 2 else np.atleast_1d(sims)
+
+    def endpoint_similarity(self) -> float:
+        """Cosine similarity between ``L_1`` and ``L_q`` (≈ 0 for large D)."""
+        return float(cosine_similarity(self.vectors[0], self.vectors[-1]))

@@ -1,0 +1,105 @@
+"""Class-hypervector model: the trained artefact of baseline HDC.
+
+Holds one integer accumulator hypervector per class plus the pre-normalised
+float copy used for inference (Sec. IV-A).  Update operations keep both in
+sync lazily: the normalised view is recomputed on demand after mutations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.ops import ACCUM_DTYPE
+from repro.hdc.similarity import dot_similarity, normalize_rows
+from repro.utils.validation import check_positive_int
+
+
+class ClassModel:
+    """``k`` class hypervectors of dimension ``D`` with cosine search.
+
+    Parameters
+    ----------
+    n_classes:
+        Number of classes ``k``.
+    dim:
+        Hypervector dimensionality ``D``.
+    """
+
+    def __init__(self, n_classes: int, dim: int):
+        self.n_classes = check_positive_int(n_classes, "n_classes")
+        self.dim = check_positive_int(dim, "dim")
+        self.class_vectors = np.zeros((self.n_classes, self.dim), dtype=ACCUM_DTYPE)
+        self._normalized: np.ndarray | None = None
+
+    # -- training updates ---------------------------------------------------
+
+    def accumulate(self, class_index: int, hypervector: np.ndarray) -> None:
+        """Add an encoded hypervector into its class (initial training)."""
+        self._check_class(class_index)
+        self.class_vectors[class_index] += np.asarray(hypervector, dtype=ACCUM_DTYPE)
+        self._normalized = None
+
+    def accumulate_batch(self, labels: np.ndarray, hypervectors: np.ndarray) -> None:
+        """Add a batch of encoded hypervectors grouped by label."""
+        labels = np.asarray(labels)
+        hypervectors = np.asarray(hypervectors, dtype=ACCUM_DTYPE)
+        if labels.shape[0] != hypervectors.shape[0]:
+            raise ValueError("labels and hypervectors must align")
+        np.add.at(self.class_vectors, labels, hypervectors)
+        self._normalized = None
+
+    def retrain_update(
+        self, correct: int, wrong: int, hypervector: np.ndarray
+    ) -> None:
+        """Perceptron-style fix for a misprediction (Sec. II-B).
+
+        Adds the sample to its true class and subtracts it from the class
+        it was wrongly matched with.
+        """
+        self._check_class(correct)
+        self._check_class(wrong)
+        hv = np.asarray(hypervector, dtype=ACCUM_DTYPE)
+        self.class_vectors[correct] += hv
+        self.class_vectors[wrong] -= hv
+        self._normalized = None
+
+    # -- inference ------------------------------------------------------------
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """Unit-norm float class matrix ``C'_i = C_i / ‖C_i‖`` (cached)."""
+        if self._normalized is None:
+            self._normalized = normalize_rows(self.class_vectors)
+        return self._normalized
+
+    def scores(self, queries: np.ndarray) -> np.ndarray:
+        """Dot-product scores against the normalised classes.
+
+        Equivalent in ranking to cosine similarity because the classes are
+        pre-normalised and the query magnitude is class-independent.
+        """
+        return dot_similarity(queries, self.normalized)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        """Argmax class per query; scalar for a single ``(D,)`` query."""
+        scores = self.scores(queries)
+        if scores.ndim == 1 and np.asarray(queries).ndim == 1:
+            return int(np.argmax(scores))
+        return np.argmax(np.atleast_2d(scores), axis=1)
+
+    # -- persistence / inspection ----------------------------------------------
+
+    def model_size_bytes(self, bytes_per_element: int = 4) -> int:
+        """Storage footprint of the deployed model (Sec. IV-A scalability)."""
+        check_positive_int(bytes_per_element, "bytes_per_element")
+        return self.n_classes * self.dim * bytes_per_element
+
+    def copy(self) -> "ClassModel":
+        """Deep copy (used by retraining, which updates a shadow model)."""
+        clone = ClassModel(self.n_classes, self.dim)
+        clone.class_vectors = self.class_vectors.copy()
+        return clone
+
+    def _check_class(self, index: int) -> None:
+        if not 0 <= index < self.n_classes:
+            raise ValueError(f"class index {index} out of range [0, {self.n_classes})")

@@ -1,0 +1,105 @@
+"""Primitive hypervector operations.
+
+HDC information is carried by three algebraic operations over
+high-dimensional vectors (Kanerva, 2009):
+
+* **bundling** — elementwise addition; the result is similar to each input,
+* **binding** — elementwise multiplication of bipolar vectors; the result is
+  dissimilar to both inputs but preserves distance structure,
+* **permutation** — circular rotation; a permuted vector is nearly
+  orthogonal to the original, which encodes sequence position (Eq. 1).
+
+All functions operate on NumPy arrays and accept batched (2-D) input where
+noted.  Bipolar vectors use ``int8`` with values in ``{-1, +1}``;
+accumulated (bundled) vectors use wider signed integers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: dtype used for bipolar (+1/-1) hypervectors.
+BIPOLAR_DTYPE = np.int8
+#: dtype used for bundled integer hypervectors (class accumulators).
+ACCUM_DTYPE = np.int64
+
+
+def random_bipolar(
+    shape: int | tuple[int, ...],
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw a random bipolar hypervector (or batch) with i.i.d. ±1 entries.
+
+    Random bipolar vectors in high dimension are nearly orthogonal in
+    expectation (cosine concentrates around 0 with std ``1/sqrt(D)``), the
+    property every LookHD construction relies on.
+    """
+    generator = ensure_rng(rng)
+    bits = generator.integers(0, 2, size=shape, dtype=np.int8)
+    return (2 * bits - 1).astype(BIPOLAR_DTYPE)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two hypervectors by elementwise multiplication.
+
+    Binding with a bipolar key is an involution: ``bind(bind(x, p), p) == x``
+    when ``p`` is ±1, which is what makes the compressed-model scoring of
+    Eq. 4/5 work.  Shapes must broadcast.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    return a * b
+
+
+def bundle(vectors: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Bundle (superpose) hypervectors by elementwise integer addition.
+
+    ``vectors`` is typically ``(count, D)``; the result is the ``(D,)``
+    accumulator in :data:`ACCUM_DTYPE` so large training sets never
+    overflow.
+    """
+    vectors = np.asarray(vectors)
+    return vectors.sum(axis=axis, dtype=ACCUM_DTYPE)
+
+
+def permute(vector: np.ndarray, shifts: int = 1) -> np.ndarray:
+    """Circularly rotate ``vector`` by ``shifts`` positions (ρ in Eq. 1).
+
+    Operates on the last axis so a batch of hypervectors can be permuted
+    at once.  ``permute(permute(x, i), -i)`` is the identity.
+    """
+    vector = np.asarray(vector)
+    return np.roll(vector, shifts, axis=-1)
+
+
+def sign_quantize(vector: np.ndarray, rng: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Binarise an accumulated hypervector to bipolar via the sign function.
+
+    Zero entries (possible after bundling an even number of bipolar
+    vectors) are broken deterministically from ``rng`` so the result is
+    always a valid ±1 vector.
+    """
+    vector = np.asarray(vector)
+    signs = np.sign(vector).astype(BIPOLAR_DTYPE)
+    zeros = signs == 0
+    if np.any(zeros):
+        signs[zeros] = random_bipolar(int(zeros.sum()), rng=rng)
+    return signs
+
+
+def stack_permutations(vector: np.ndarray, count: int) -> np.ndarray:
+    """Return ``(count, D)`` matrix whose row ``i`` is ``permute(vector, i)``.
+
+    Used to pre-materialise the rotations of level hypervectors when the
+    number of features (or chunk size) is small.
+    """
+    count = check_positive_int(count, "count")
+    vector = np.asarray(vector)
+    dim = vector.shape[-1]
+    out = np.empty((count, dim), dtype=vector.dtype)
+    for shift in range(count):
+        out[shift] = np.roll(vector, shift)
+    return out

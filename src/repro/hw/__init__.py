@@ -1,0 +1,59 @@
+"""Hardware cost models: the paper's FPGA / ARM / GPU substrate, simulated.
+
+The paper measures LookHD on a Kintex-7 KC705 FPGA (5 ns clock), an ARM
+Cortex A53 (with a Hioki power meter), and an NVIDIA GTX 1080; none of that
+hardware is available here, so this subpackage substitutes **analytical
+architecture models**:
+
+* :mod:`repro.hw.opcounts` — exact operation counts (additions,
+  multiplications, memory traffic, comparisons, with bit-widths) for every
+  phase of baseline HDC and LookHD, derived from the algorithm definitions;
+* :mod:`repro.hw.fpga` — a resource/cycle/energy model of the paper's
+  pipelined FPGA design (Figs. 10/11): LUT/FF/DSP/BRAM budgets, lane counts
+  per operation class, pipeline overlap of encoding and associative search;
+* :mod:`repro.hw.arm` — throughput/power model of an in-order A53-class
+  core with NEON;
+* :mod:`repro.hw.gpu` — throughput/power model of a GTX-1080-class GPU;
+* :mod:`repro.hw.mlp_accel` — DNNWeaver/FPDeep-style MLP accelerator model
+  for the Table IV comparison.
+
+The models are deliberately simple and fully documented: every reported
+speedup is a ratio of cycle counts that follow from op counts and resource
+limits, so the *shape* of the paper's results (who wins, roughly by how
+much, and how ratios move with q, k, and D) is reproduced from first
+principles rather than fitted per-figure.
+"""
+
+from repro.hw.arm import ArmCortexA53
+from repro.hw.fpga import KintexFpga
+from repro.hw.gpu import Gtx1080
+from repro.hw.mlp_accel import MlpAcceleratorModel
+from repro.hw.opcounts import (
+    OpCounts,
+    WorkloadShape,
+    baseline_encoding_ops,
+    baseline_inference_ops,
+    baseline_retraining_ops,
+    baseline_training_ops,
+    lookhd_encoding_ops,
+    lookhd_inference_ops,
+    lookhd_retraining_ops,
+    lookhd_training_ops,
+)
+
+__all__ = [
+    "OpCounts",
+    "WorkloadShape",
+    "baseline_encoding_ops",
+    "baseline_training_ops",
+    "baseline_inference_ops",
+    "baseline_retraining_ops",
+    "lookhd_encoding_ops",
+    "lookhd_training_ops",
+    "lookhd_inference_ops",
+    "lookhd_retraining_ops",
+    "ArmCortexA53",
+    "KintexFpga",
+    "Gtx1080",
+    "MlpAcceleratorModel",
+]

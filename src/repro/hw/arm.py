@@ -1,0 +1,86 @@
+"""ARM Cortex A53 cost model.
+
+Substitutes the paper's measured A53 + Hioki-power-meter setup with a
+roofline model of an in-order quad-issue-NEON core at 1.2 GHz:
+
+* **integer SIMD** — the 128-bit NEON datapath retires ``128 / bits``
+  lanes per cycle at ~50% sustained efficiency (loads, address generation,
+  and the in-order pipeline eat the rest);
+* **multipliers** — half the add rate at matched width;
+* **memory** — a single-channel LPDDR-class interface at ~4 GB/s
+  effective.
+
+Typical A53-cluster active power is ~1.5 W with little load dependence at
+this granularity, so dynamic power is folded into a flat figure and
+energy ≈ power × time — exactly how a wall-meter measurement behaves.
+"""
+
+from __future__ import annotations
+
+from repro.hw.opcounts import OpCounts
+from repro.hw.platforms import ResourceClass, RooflinePlatform
+
+_CLOCK_HZ = 1.2e9
+_NEON_BITS = 128
+_SIMD_EFFICIENCY = 0.5
+_MEMORY_BYTES_PER_SECOND = 4.0e9
+
+
+class ArmCortexA53(RooflinePlatform):
+    """Roofline model of the paper's low-power CPU platform."""
+
+    name = "arm-cortex-a53"
+    static_watts = 0.3
+    phase_overhead_seconds = 1.0e-6  # loop setup / cache warm-up per phase
+
+    def __init__(self):
+        self._active_watts = 1.2
+
+    def _simd_ops_per_second(self, bits: int, relative_cost: float) -> float:
+        lanes = max(1, _NEON_BITS // max(8, bits))
+        return _CLOCK_HZ * lanes * _SIMD_EFFICIENCY / relative_cost
+
+    @property
+    def resources(self) -> dict[str, ResourceClass]:
+        # Throughputs for the widths recorded in the phase being run are
+        # resolved in `demand`; resource entries here use reference widths
+        # and `demand` rescales op counts to reference-width equivalents.
+        return {
+            "alu": ResourceClass("alu", self._simd_ops_per_second(16, 1.0), 0.5),
+            "mul": ResourceClass("mul", self._simd_ops_per_second(16, 2.0), 0.4),
+            "mem": ResourceClass("mem", _MEMORY_BYTES_PER_SECOND / 2.0, 0.3),
+            # Branchy nearest-level searches retire ~1 comparison per 3
+            # cycles on the in-order scalar pipeline.
+            "scalar": ResourceClass("scalar", _CLOCK_HZ / 3.0, 0.3),
+            # Pointer-chasing loads miss the small A53 caches; ~40 ns each.
+            "random": ResourceClass("random", 2.5e7, 0.3),
+        }
+
+    def demand(self, ops: OpCounts) -> dict[str, float]:
+        # Rescale to the 16-bit reference width: a 32-bit op costs two
+        # reference ops on the 128-bit datapath, an 8-bit op costs half.
+        add_scale = max(8, ops.add_bits) / 16.0
+        mult_scale = max(8, ops.mult_bits) / 16.0
+        # A CPU moves whole bytes however narrow the payload, so memory
+        # width is floored at 8 bits (bit-packed vectors still help 2x
+        # over 16-bit elements, but not 16x).  On-chip tables live in
+        # L1/L2 and stream ~3x faster than DRAM.
+        mem_scale = max(8, ops.mem_bits) / 16.0
+        onchip_scale = max(8, ops.onchip_bits) / 16.0
+        alu_ops = (ops.adds + ops.dsp_adds) * add_scale
+        mul_ops = ops.mults * mult_scale
+        scalar_ops = ops.compares
+        if ops.mult_bits > 32:
+            # Double-precision reductions (the unoptimised cosine path)
+            # don't vectorise on the in-order A53; they retire scalar.
+            scalar_ops += ops.adds + ops.dsp_adds + ops.mults
+            alu_ops = 0.0
+            mul_ops = 0.0
+        return {
+            "alu": alu_ops,
+            "mul": mul_ops,
+            "mem": (ops.reads + ops.writes) * mem_scale
+            + ops.onchip_reads * onchip_scale / 3.0,
+            "scalar": scalar_ops,
+            "random": ops.random_accesses,
+        }

@@ -1,0 +1,160 @@
+"""Kintex-7 KC705 FPGA cost model.
+
+Substitutes the paper's Verilog/Vivado implementation with a resource-
+budget roofline of the same architecture (Figs. 10/11):
+
+* **LUT/FF fabric** — narrow adders/comparators; a ``b``-bit add costs
+  ``b`` LUTs, so the number of concurrent add lanes is the datapath LUT
+  budget divided by the operand width.  This is what makes baseline HDC
+  encoding (millions of 1–4-bit additions) so fast on FPGA, and why the
+  paper's training bottleneck is LUTs (Fig. 16).
+* **DSP slices** — 840 wide multipliers; the associative search's 32-bit
+  dot products are DSP-bound, which fixes the window size ``d`` of the
+  Sec. V-B pipeline.  Narrow (≤ 8-bit) multiplies map to fabric instead.
+* **BRAM** — 445 × 36 Kb blocks, dual-ported; bounds lookup-table reads
+  per cycle and decides whether a ``q^r`` table fits on chip at all.
+
+Clock: 200 MHz (the paper's 5 ns target).  Power: Kintex-7-class static
+~0.25 W plus per-resource dynamic peaks; a phase's dynamic draw scales
+with its utilisation of each resource, so a design that only exercises a
+sliver of the fabric (LookHD's streaming counter updates) draws far less
+than one saturating the LUT budget (baseline encoding) — the source of
+the paper's energy-efficiency gains exceeding its speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.opcounts import OpCounts, WorkloadShape
+from repro.hw.platforms import ResourceClass, RooflinePlatform
+
+_CLOCK_HZ = 200e6
+
+
+@dataclass(frozen=True)
+class FpgaResources:
+    """Physical budget of the target device (Kintex-7 325T / KC705)."""
+
+    luts: int = 203_800
+    flip_flops: int = 407_600
+    dsp_slices: int = 840
+    bram_blocks: int = 445
+    bram_kbits_per_block: int = 36
+
+    @property
+    def bram_bytes(self) -> int:
+        return self.bram_blocks * self.bram_kbits_per_block * 1024 // 8
+
+
+class KintexFpga(RooflinePlatform):
+    """Roofline model of the paper's FPGA platform.
+
+    Parameters
+    ----------
+    resources:
+        Device budget; defaults to the KC705's Kintex-7 325T.
+    datapath_lut_fraction:
+        Share of LUTs available to arithmetic datapaths (the rest is
+        control, addressing, and the quantizer).
+    """
+
+    name = "kintex7-kc705"
+    static_watts = 0.25
+    phase_overhead_seconds = 2.0e-7  # pipeline fill/drain (a few dozen stages)
+
+    def __init__(
+        self,
+        resources: FpgaResources | None = None,
+        datapath_lut_fraction: float = 0.6,
+    ):
+        if not 0 < datapath_lut_fraction <= 1:
+            raise ValueError("datapath_lut_fraction must be in (0, 1]")
+        self.device = resources if resources is not None else FpgaResources()
+        self.datapath_lut_fraction = datapath_lut_fraction
+
+    # -- structural helpers ---------------------------------------------------
+
+    def add_lanes(self, bits: int) -> int:
+        """Concurrent adders of width ``bits`` the fabric can host."""
+        budget = self.device.luts * self.datapath_lut_fraction
+        return max(1, int(budget // max(1, bits)))
+
+    def dsp_lanes(self) -> int:
+        return self.device.dsp_slices
+
+    def bram_elements_per_cycle(self, bits: int) -> int:
+        """Elements readable per cycle across all dual-ported blocks."""
+        bits_per_cycle = self.device.bram_blocks * 2 * 36
+        return max(1, bits_per_cycle // max(1, bits))
+
+    def table_fits_in_bram(self, shape: WorkloadShape, element_bits: int = 8) -> bool:
+        """Whether the q^r lookup table fits on chip (Sec. V-A requirement)."""
+        table_bits = shape.table_rows * shape.dim * element_bits
+        return table_bits <= self.device.bram_bytes * 8
+
+    def search_window(self, shape: WorkloadShape) -> int:
+        """Dimensions ``d`` processed per cycle in associative search.
+
+        The DSP budget is shared by the ``g`` concurrent per-group
+        multiplies (Sec. V-B: "the number of DSPs limits d'").  Matches
+        the paper's examples: more classes → narrower window.
+        """
+        return max(1, self.device.dsp_slices // (shape.n_groups * 2 + shape.n_classes // 4 + 1))
+
+    # -- roofline ----------------------------------------------------------------
+
+    @property
+    def resources(self) -> dict[str, ResourceClass]:
+        return {
+            "fabric": ResourceClass("fabric", _CLOCK_HZ * self.add_lanes(16), 6.0),
+            "dsp": ResourceClass("dsp", _CLOCK_HZ * self.dsp_lanes(), 2.5),
+            "bram": ResourceClass(
+                "bram", _CLOCK_HZ * self.bram_elements_per_cycle(16), 1.5
+            ),
+        }
+
+    def demand(self, ops: OpCounts) -> dict[str, float]:
+        add_scale = max(1, ops.add_bits) / 16.0
+        narrow_mult = ops.mult_bits <= 8
+        fabric_ops = (ops.adds + ops.compares) * add_scale
+        # The associative search's accumulations run on DSPs configured as
+        # add/sub units (Sec. V-B); wide multiplies also need DSPs, while
+        # small multipliers synthesise into fabric (≈ 4 LUT-adds each).
+        dsp_ops = ops.dsp_adds
+        if narrow_mult:
+            fabric_ops += ops.mults * 4 * (max(1, ops.mult_bits) / 16.0)
+        else:
+            dsp_ops += ops.mults
+        mem_scale = max(1, ops.mem_bits) / 16.0
+        onchip_scale = max(1, ops.onchip_bits) / 16.0
+        # On-chip traffic (lookup tables, models, key bits) and external
+        # streams both go through BRAM on this device; random BRAM picks
+        # are single-cycle and already counted as onchip reads.
+        bram_ops = (ops.reads + ops.writes) * mem_scale + ops.onchip_reads * onchip_scale
+        return {
+            "fabric": fabric_ops,
+            "dsp": dsp_ops,
+            "bram": bram_ops,
+        }
+
+    # -- reporting (Fig. 16) ---------------------------------------------------
+
+    def utilization_report(self, ops: OpCounts | list[OpCounts]) -> dict[str, float]:
+        """Fractional busy-time of each resource.
+
+        Pass a list for pipelined designs (e.g. ``[encode, search]``):
+        each stage is costed with its own operand widths and the busy
+        times are summed per resource, as concurrent stages keep their
+        own datapaths.
+        """
+        phases = ops if isinstance(ops, list) else [ops]
+        resources = self.resources
+        times = {name: 0.0 for name in resources}
+        for phase in phases:
+            for name, amount in self.demand(phase).items():
+                times[name] += amount / resources[name].ops_per_second
+        longest = max(times.values()) if times else 0.0
+        if longest == 0:
+            return {name: 0.0 for name in resources}
+        return {name: busy / longest for name, busy in times.items()}

@@ -1,0 +1,50 @@
+"""NVIDIA GTX 1080 cost model (Table III comparator).
+
+A throughput-rich, latency-poor device: ~8.9 TFLOP/s peak (modelled at
+35% sustained for these memory-mixed integer kernels), 320 GB/s GDDR5X,
+and — crucially for single-query HDC inference — tens of microseconds of
+kernel-launch and transfer overhead per phase.  That overhead is why the
+paper's FPGA LookHD beats the GPU on latency (Table III) despite the
+GPU's raw arithmetic advantage, and the 180 W board power is why it loses
+on energy by two orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.hw.opcounts import OpCounts
+from repro.hw.platforms import ResourceClass, RooflinePlatform
+
+_PEAK_FLOPS = 8.9e12
+_SUSTAINED = 0.35
+_MEMORY_BYTES_PER_SECOND = 320e9
+_MEMORY_EFFICIENCY = 0.6
+
+
+class Gtx1080(RooflinePlatform):
+    """Roofline model of the paper's GPU comparator."""
+
+    name = "gtx-1080"
+    static_watts = 40.0  # idle board draw while the kernel is resident
+    phase_overhead_seconds = 25e-6  # kernel launch + PCIe transfer setup
+
+    @property
+    def resources(self) -> dict[str, ResourceClass]:
+        return {
+            "cuda": ResourceClass("cuda", _PEAK_FLOPS * _SUSTAINED, 140.0),
+            "gddr": ResourceClass(
+                "gddr", _MEMORY_BYTES_PER_SECOND * _MEMORY_EFFICIENCY / 2.0, 40.0
+            ),
+        }
+
+    def demand(self, ops: OpCounts) -> dict[str, float]:
+        # GPUs execute everything through the same FP/INT pipes; widths
+        # below 32 bits gain little without tensor cores on this part.
+        # On-chip tables live in shared memory/L2, whose bandwidth tracks
+        # the ALU rate (charged as a quarter-op per element); random
+        # accesses are uncoalesced 32-byte transactions.
+        return {
+            "cuda": ops.adds + ops.dsp_adds + ops.mults + ops.compares
+            + 0.25 * ops.onchip_reads,
+            "gddr": (ops.reads + ops.writes) * (max(8, ops.mem_bits) / 16.0)
+            + 16.0 * ops.random_accesses,
+        }

@@ -1,0 +1,95 @@
+"""FPGA MLP accelerator model (Table IV comparator).
+
+Stands in for DNNWeaver V2.0 (inference) and FPDeep (training): a
+DSP-systolic MLP engine on the same Kintex-7 budget.  MLP arithmetic is
+wide multiply-accumulate, so throughput is DSP-bound (840 MACs/cycle at
+200 MHz, ~70% sustained by the systolic schedule); weights stream from
+BRAM.  Training costs ≈ 3 forward-equivalents per sample (forward,
+backward, weight update) per epoch — the gradient-descent overhead the
+paper credits LookHD with eliminating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.opcounts import OpCounts
+from repro.hw.platforms import PhaseResult, ResourceClass, RooflinePlatform
+from repro.utils.validation import check_positive_int
+
+_CLOCK_HZ = 200e6
+_DSP_SLICES = 840
+_SYSTOLIC_EFFICIENCY = 0.7
+
+
+@dataclass(frozen=True)
+class MlpShape:
+    """Geometry of the comparator network."""
+
+    n_inputs: int
+    hidden_units: int
+    n_outputs: int
+
+    def __post_init__(self):
+        check_positive_int(self.n_inputs, "n_inputs")
+        check_positive_int(self.hidden_units, "hidden_units")
+        check_positive_int(self.n_outputs, "n_outputs")
+
+    @property
+    def macs_per_inference(self) -> int:
+        return self.hidden_units * (self.n_inputs + self.n_outputs)
+
+    @property
+    def parameters(self) -> int:
+        return (
+            self.n_inputs * self.hidden_units
+            + self.hidden_units
+            + self.hidden_units * self.n_outputs
+            + self.n_outputs
+        )
+
+
+class MlpAcceleratorModel(RooflinePlatform):
+    """DNNWeaver/FPDeep-style DSP-systolic engine on the Kintex-7."""
+
+    name = "mlp-fpga-accelerator"
+    static_watts = 0.25
+    phase_overhead_seconds = 2.0e-6
+
+    @property
+    def resources(self) -> dict[str, ResourceClass]:
+        return {
+            "dsp": ResourceClass(
+                "dsp", _CLOCK_HZ * _DSP_SLICES * _SYSTOLIC_EFFICIENCY, 2.5
+            ),
+            "bram": ResourceClass("bram", _CLOCK_HZ * 445 * 2 * 36 / 16, 1.5),
+        }
+
+    def demand(self, ops: OpCounts) -> dict[str, float]:
+        return {
+            "dsp": ops.mults + ops.adds + ops.dsp_adds,
+            "bram": ops.reads + ops.writes + ops.onchip_reads,
+        }
+
+    # -- convenience entry points -----------------------------------------------
+
+    def inference(self, shape: MlpShape) -> PhaseResult:
+        """One forward pass."""
+        macs = shape.macs_per_inference
+        ops = OpCounts(
+            mults=macs, adds=macs, reads=shape.parameters + shape.n_inputs,
+            writes=shape.n_outputs, mult_bits=16, add_bits=32,
+        )
+        return self.run(ops)
+
+    def training(self, shape: MlpShape, n_samples: int, epochs: int) -> PhaseResult:
+        """SGD training: ≈ 3 forward-equivalents per sample per epoch."""
+        check_positive_int(n_samples, "n_samples")
+        check_positive_int(epochs, "epochs")
+        macs = 3 * shape.macs_per_inference
+        per_sample = OpCounts(
+            mults=macs, adds=macs,
+            reads=3 * shape.parameters + shape.n_inputs,
+            writes=shape.parameters, mult_bits=16, add_bits=32,
+        )
+        return self.run(per_sample.scaled(n_samples * epochs))

@@ -1,0 +1,352 @@
+"""Operation counts for every phase of baseline HDC and LookHD.
+
+All hardware models in this subpackage consume the same currency: an
+:class:`OpCounts` record of arithmetic operations and memory traffic with
+bit-width annotations.  The counts follow directly from the algorithm
+definitions in Sections II–IV, parameterised by a :class:`WorkloadShape`
+(the ``n, q, r, k, D`` of an application); they are what the paper's
+Fig. 2 breakdowns and every speedup ratio are functions of.
+
+Two distinctions matter enough to be first-class fields:
+
+* ``reads``/``writes`` (streaming DRAM-class traffic — the dataset
+  itself) vs ``onchip_reads`` (level tables, lookup tables, models, and
+  position/key bits, which every platform keeps in BRAM / cache / shared
+  memory) vs ``random_accesses`` (pointer-chasing with no locality,
+  free on BRAM but a cache miss on CPUs);
+* ``adds`` (fabric/ALU accumulations) vs ``dsp_adds`` (the associative
+  search's add/sub accumulations, which the paper's FPGA design runs on
+  DSP slices configured by the P' bits — Sec. V-B).
+
+Notation: ``n`` features, ``q`` quantization levels, ``r`` chunk size,
+``m = ceil(n/r)`` chunks, ``k`` classes, ``D`` hypervector dimensions,
+``g`` compressed groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+_COUNT_FIELDS = (
+    "adds",
+    "dsp_adds",
+    "mults",
+    "compares",
+    "reads",
+    "writes",
+    "onchip_reads",
+    "random_accesses",
+)
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation totals for one phase of one algorithm."""
+
+    adds: float = 0.0
+    dsp_adds: float = 0.0
+    mults: float = 0.0
+    compares: float = 0.0
+    reads: float = 0.0
+    writes: float = 0.0
+    onchip_reads: float = 0.0
+    random_accesses: float = 0.0
+    add_bits: int = 16
+    mult_bits: int = 16
+    mem_bits: int = 16
+    onchip_bits: int = 16
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        merged = {
+            name: getattr(self, name) + getattr(other, name) for name in _COUNT_FIELDS
+        }
+        merged["add_bits"] = _merge_width(
+            self.adds + self.dsp_adds + self.compares, self.add_bits,
+            other.adds + other.dsp_adds + other.compares, other.add_bits,
+        )
+        merged["mult_bits"] = _merge_width(
+            self.mults, self.mult_bits, other.mults, other.mult_bits
+        )
+        merged["mem_bits"] = _merge_traffic_width(
+            self.reads + self.writes, self.mem_bits,
+            other.reads + other.writes, other.mem_bits,
+        )
+        merged["onchip_bits"] = _merge_traffic_width(
+            self.onchip_reads, self.onchip_bits, other.onchip_reads, other.onchip_bits
+        )
+        return OpCounts(**merged)
+
+    def scaled(self, factor: float) -> "OpCounts":
+        """All counts multiplied by ``factor`` (e.g. per-sample → dataset)."""
+        kwargs = {name: getattr(self, name) * factor for name in _COUNT_FIELDS}
+        return OpCounts(
+            **kwargs,
+            add_bits=self.add_bits,
+            mult_bits=self.mult_bits,
+            mem_bits=self.mem_bits,
+            onchip_bits=self.onchip_bits,
+        )
+
+    @property
+    def total_arithmetic(self) -> float:
+        return self.adds + self.dsp_adds + self.mults + self.compares
+
+    @property
+    def total_memory(self) -> float:
+        return self.reads + self.writes + self.onchip_reads
+
+
+def _merge_width(self_ops: float, self_bits: int, other_ops: float, other_bits: int) -> int:
+    """Width of the merged datapath; zero-op components don't contribute."""
+    if self_ops > 0 and other_ops > 0:
+        return max(self_bits, other_bits)
+    if self_ops > 0:
+        return self_bits
+    if other_ops > 0:
+        return other_bits
+    return max(self_bits, other_bits)
+
+
+def _merge_traffic_width(
+    self_traffic: float, self_bits: int, other_traffic: float, other_bits: int
+) -> int:
+    """Traffic-weighted mean width so combined phases keep total bits."""
+    total = self_traffic + other_traffic
+    if total <= 0:
+        return max(self_bits, other_bits)
+    return max(1, round((self_traffic * self_bits + other_traffic * other_bits) / total))
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """The parameters that determine HDC/LookHD cost for one application."""
+
+    n_features: int
+    n_classes: int
+    dim: int = 2_000
+    levels: int = 4
+    chunk_size: int = 5
+    #: Classes folded per compressed hypervector (``None`` → the library's
+    #: exact-mode default of min(k, 12)).
+    group_size: int | None = None
+
+    def __post_init__(self):
+        check_positive_int(self.n_features, "n_features")
+        check_positive_int(self.n_classes, "n_classes")
+        check_positive_int(self.dim, "dim")
+        check_positive_int(self.levels, "levels")
+        check_positive_int(self.chunk_size, "chunk_size")
+
+    @property
+    def n_chunks(self) -> int:
+        return -(-self.n_features // self.chunk_size)
+
+    @property
+    def table_rows(self) -> int:
+        return self.levels**self.chunk_size
+
+    @property
+    def n_groups(self) -> int:
+        size = self.group_size
+        if size is None:
+            size = min(self.n_classes, 12)
+        size = min(size, self.n_classes)
+        return -(-self.n_classes // size)
+
+
+# ---------------------------------------------------------------------------
+# Baseline HDC (Section II)
+# ---------------------------------------------------------------------------
+
+
+def quantization_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-sample nearest-level quantization (shared by both algorithms).
+
+    Each of the ``n`` features streams in from memory and is compared
+    against the ``q`` level boundaries (Fig. 10a: subtract +
+    absolute-minimum search).
+    """
+    n, q = shape.n_features, shape.levels
+    return OpCounts(adds=n * q, compares=n * q, reads=n, add_bits=16, mem_bits=16)
+
+
+def baseline_encoding_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-sample Eq. 1 record encoding.
+
+    Every feature contributes a D-wide accumulation of a (binarised,
+    on-chip) level hypervector; permutation is free (addressing).  This
+    is the ``O(n·D)`` module that dominates baseline training (Fig. 2).
+    """
+    n, d = shape.n_features, shape.dim
+    accumulate = OpCounts(adds=n * d, writes=d, add_bits=16, mem_bits=16)
+    level_reads = OpCounts(onchip_reads=n * d, onchip_bits=1)
+    return accumulate + level_reads + quantization_ops(shape)
+
+
+def baseline_training_ops(shape: WorkloadShape, n_samples: int) -> OpCounts:
+    """Initial training: encode every sample and bundle into its class."""
+    bundle = OpCounts(
+        adds=shape.dim, onchip_reads=shape.dim, writes=shape.dim,
+        add_bits=32, onchip_bits=32, mem_bits=32,
+    )
+    per_sample = baseline_encoding_ops(shape) + bundle
+    return per_sample.scaled(n_samples)
+
+
+def baseline_search_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-query associative search over ``k`` pre-normalised classes.
+
+    A dot product per class: ``k·D`` wide multiplications feeding ``k·D``
+    DSP-mapped accumulations (the simplified cosine of Sec. IV-A), then a
+    ``k``-way maximum.  The model lives on chip.
+    """
+    k, d = shape.n_classes, shape.dim
+    return OpCounts(
+        dsp_adds=k * d, mults=k * d, compares=k,
+        onchip_reads=k * d + d,
+        add_bits=32, mult_bits=32, onchip_bits=32,
+    )
+
+
+def baseline_full_cosine_search_ops(shape: WorkloadShape) -> OpCounts:
+    """Unoptimised cosine search — the Fig. 2 motivation baseline.
+
+    Before the Sec. IV-A simplification, every query computes three dot
+    products per class (``H·C``, ``H·H``, ``C·C``) plus a scalar divide,
+    in floating point: ~3× the multiplies of :func:`baseline_search_ops`
+    and no DSP-friendly structure.  This is the configuration whose
+    associative search consumes ~83% of inference time in Fig. 2.
+    """
+    k, d = shape.n_classes, shape.dim
+    # mult_bits=64 marks double-precision scalar work: the division and
+    # reduction dependencies keep this loop out of NEON on the A53.
+    return OpCounts(
+        mults=3 * k * d, adds=3 * k * d, compares=2 * k,
+        onchip_reads=2 * k * d + d,
+        add_bits=64, mult_bits=64, onchip_bits=32,
+    )
+
+
+def baseline_inference_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-query inference = encoding + (simplified) associative search."""
+    return baseline_encoding_ops(shape) + baseline_search_ops(shape)
+
+
+def baseline_retraining_ops(
+    shape: WorkloadShape, n_samples: int, n_updates: int
+) -> OpCounts:
+    """One retraining pass: search every sample, ±H update per mistake.
+
+    Encoded training vectors are assumed cached (the paper encodes once);
+    each misprediction costs two D-wide accumulations.
+    """
+    search = baseline_search_ops(shape).scaled(n_samples)
+    updates = OpCounts(
+        adds=2 * shape.dim, onchip_reads=2 * shape.dim, writes=2 * shape.dim,
+        add_bits=32, onchip_bits=32, mem_bits=32,
+    ).scaled(n_updates)
+    return search + updates
+
+
+# ---------------------------------------------------------------------------
+# LookHD (Sections III–IV)
+# ---------------------------------------------------------------------------
+
+
+def lookhd_encoding_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-sample lookup encoding (Eq. 3).
+
+    Quantize, concatenate codebooks (free), fetch ``m`` pre-stored chunk
+    hypervectors from the on-chip table (one random row pick per chunk),
+    sign-flip by the binary position hypervectors, and accumulate.  Table
+    elements need only ``log2(r)+1`` bits (4 bits at r = 5).
+    ``m ≪ n`` is the whole advantage.
+    """
+    m, d = shape.n_chunks, shape.dim
+    aggregate = OpCounts(adds=2 * m * d, writes=d, add_bits=16, mem_bits=16)
+    table_reads = OpCounts(onchip_reads=m * d, onchip_bits=4, random_accesses=m)
+    position_bits = OpCounts(onchip_reads=m * d, onchip_bits=1)
+    return aggregate + table_reads + position_bits + quantization_ops(shape)
+
+
+def lookhd_training_ops(shape: WorkloadShape, n_samples: int) -> OpCounts:
+    """Counter-based training (Fig. 6).
+
+    Streaming phase: quantize each sample and increment ``m`` counters —
+    no hypervector is touched (the increments are random accesses into
+    the counter array).  Materialisation phase (once, at the end): skip
+    zero counters, multiply the nonzero counts with their table rows (the
+    narrow multiplies synthesise into fabric on FPGA), and aggregate the
+    position-bound chunk hypervectors per class.
+    """
+    m, d, k = shape.n_chunks, shape.dim, shape.n_classes
+    rows = shape.table_rows
+    streaming = (
+        quantization_ops(shape)
+        + OpCounts(
+            adds=m, onchip_reads=m, writes=m, random_accesses=m,
+            add_bits=32, onchip_bits=32, mem_bits=32,
+        )
+    ).scaled(n_samples)
+    # A class touches at most one address per sample per chunk, so the
+    # expected nonzero counter rows saturate at N/k.
+    samples_per_class = max(1.0, n_samples / k)
+    nnz = rows * (1.0 - (1.0 - 1.0 / rows) ** samples_per_class)
+    macs = k * m * nnz * d
+    materialise = (
+        OpCounts(mults=macs, adds=macs, add_bits=32, mult_bits=8)
+        + OpCounts(onchip_reads=min(k * m * nnz, rows) * d, onchip_bits=4)
+        + OpCounts(onchip_reads=k * m * nnz, onchip_bits=32)
+        + OpCounts(
+            adds=k * m * d, writes=k * d, add_bits=32, mem_bits=32
+        )
+    )
+    return streaming + materialise
+
+
+def lookhd_search_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-query compressed associative search (Eq. 4).
+
+    One elementwise product per group (the only true multiplications),
+    then sign-controlled DSP accumulations per class — the add/sub DSP
+    configuration of Sec. V-B.  The per-class keys are single-bit control
+    streams; model and keys live on chip.
+    """
+    k, d, g = shape.n_classes, shape.dim, shape.n_groups
+    product = OpCounts(
+        dsp_adds=k * d, mults=g * d, compares=k,
+        onchip_reads=g * d + d,
+        add_bits=32, mult_bits=32, onchip_bits=32,
+    )
+    key_bits = OpCounts(onchip_reads=k * d, onchip_bits=1)
+    return product + key_bits
+
+
+def lookhd_inference_ops(shape: WorkloadShape) -> OpCounts:
+    """Per-query LookHD inference = lookup encoding + compressed search."""
+    return lookhd_encoding_ops(shape) + lookhd_search_ops(shape)
+
+
+def lookhd_retraining_ops(
+    shape: WorkloadShape, n_samples: int, n_updates: int
+) -> OpCounts:
+    """One compressed retraining pass (Sec. IV-D).
+
+    Search every cached encoding on the compressed model; each mistake
+    applies the ΔP'·H shift/negate update to the owning group(s).
+    """
+    search = lookhd_search_ops(shape).scaled(n_samples)
+    updates = OpCounts(
+        adds=2 * shape.dim, onchip_reads=2 * shape.dim, writes=2 * shape.dim,
+        add_bits=32, onchip_bits=32, mem_bits=32,
+    ).scaled(n_updates)
+    return search + updates
+
+
+def encoding_fraction(total: OpCounts, encoding: OpCounts) -> float:
+    """Share of arithmetic spent in encoding (the Fig. 2 metric)."""
+    if total.total_arithmetic == 0:
+        return 0.0
+    return encoding.total_arithmetic / total.total_arithmetic

@@ -1,0 +1,117 @@
+"""Shared roofline machinery for the platform cost models.
+
+Every platform is modelled the same way: a set of *resource classes*
+(integer add lanes, multiplier lanes, memory ports), each with a
+throughput in operations per second and a peak dynamic power.  A phase
+(an :class:`~repro.hw.opcounts.OpCounts`) takes
+
+    time = max over resource classes (ops_r / throughput_r) + overhead
+
+— the pipelined bottleneck bound — and draws dynamic power proportional
+to each resource's utilisation during that time, plus static power:
+
+    energy = time * (P_static + Σ_r P_r · util_r)
+
+This keeps every reported speedup/energy ratio an auditable function of
+op counts, throughputs, and utilisations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.opcounts import OpCounts
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Modelled execution of one phase on one platform."""
+
+    seconds: float
+    joules: float
+
+    @property
+    def watts(self) -> float:
+        return self.joules / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product, the Fig. 15b metric."""
+        return self.seconds * self.joules
+
+    def __add__(self, other: "PhaseResult") -> "PhaseResult":
+        return PhaseResult(self.seconds + other.seconds, self.joules + other.joules)
+
+
+def overlap(first: PhaseResult, second: PhaseResult) -> PhaseResult:
+    """Two pipelined phases: latency of the slower, energy of both.
+
+    Models the paper's encode/search pipeline (Sec. V-B), where the two
+    stages use disjoint resources and run concurrently.
+    """
+    return PhaseResult(max(first.seconds, second.seconds), first.joules + second.joules)
+
+
+@dataclass(frozen=True)
+class ResourceClass:
+    """One roofline resource: throughput ceiling plus peak dynamic power."""
+
+    name: str
+    ops_per_second: float
+    peak_watts: float
+
+    def __post_init__(self):
+        if self.ops_per_second <= 0:
+            raise ValueError(f"{self.name}: throughput must be positive")
+        if self.peak_watts < 0:
+            raise ValueError(f"{self.name}: power must be non-negative")
+
+
+class RooflinePlatform:
+    """Base class: maps op counts onto resource classes.
+
+    Subclasses define the resource set and how an :class:`OpCounts` is
+    distributed across it via :meth:`demand`.
+    """
+
+    name = "abstract"
+    static_watts = 0.0
+    phase_overhead_seconds = 0.0
+
+    def demand(self, ops: OpCounts) -> dict[str, float]:
+        """Map op counts to per-resource operation totals.
+
+        Returns ``{resource_name: op_count}``; resources absent from the
+        dict are unused by the phase.
+        """
+        raise NotImplementedError
+
+    @property
+    def resources(self) -> dict[str, ResourceClass]:
+        raise NotImplementedError
+
+    def run(self, ops: OpCounts) -> PhaseResult:
+        """Roofline time + utilisation-weighted energy for one phase."""
+        demands = self.demand(ops)
+        resources = self.resources
+        times = {
+            name: amount / resources[name].ops_per_second
+            for name, amount in demands.items()
+            if amount > 0
+        }
+        if not times:
+            return PhaseResult(self.phase_overhead_seconds, 0.0)
+        seconds = max(times.values()) + self.phase_overhead_seconds
+        dynamic = 0.0
+        for name, busy in times.items():
+            utilisation = busy / seconds if seconds > 0 else 0.0
+            dynamic += resources[name].peak_watts * utilisation
+        joules = seconds * (self.static_watts + dynamic)
+        return PhaseResult(seconds, joules)
+
+    def run_phases(self, phases: list[OpCounts]) -> PhaseResult:
+        """Sequential phases: times and energies add."""
+        total = PhaseResult(0.0, 0.0)
+        for phase in phases:
+            total = total + self.run(phase)
+        return total

@@ -1,0 +1,99 @@
+"""End-to-end modelled scenarios: algorithm × phase × platform.
+
+Assembles the op counts of :mod:`repro.hw.opcounts` into the execution
+structures of the paper:
+
+* baseline training — encode + bundle every sample (one long pipeline);
+* LookHD training — stream counters, then materialise classes;
+* inference — encoding and associative search, *overlapped* on FPGA
+  (Sec. V-B pipeline) and sequential on CPU/GPU;
+* retraining — one pass of search + model updates.
+
+Each function returns a :class:`~repro.hw.platforms.PhaseResult`, so
+speedup and energy-efficiency ratios are simple divisions recorded by the
+experiment drivers.
+"""
+
+from __future__ import annotations
+
+from repro.hw.opcounts import (
+    WorkloadShape,
+    baseline_encoding_ops,
+    baseline_retraining_ops,
+    baseline_search_ops,
+    baseline_training_ops,
+    lookhd_encoding_ops,
+    lookhd_retraining_ops,
+    lookhd_search_ops,
+    lookhd_training_ops,
+)
+from repro.hw.platforms import PhaseResult, RooflinePlatform, overlap
+
+
+def _supports_pipeline(platform: RooflinePlatform) -> bool:
+    """Only the FPGA overlaps encoding with associative search."""
+    return platform.name.startswith("kintex")
+
+
+def baseline_training(
+    platform: RooflinePlatform, shape: WorkloadShape, n_samples: int
+) -> PhaseResult:
+    """State-of-the-art HDC training ([37], [38]) on ``platform``."""
+    return platform.run(baseline_training_ops(shape, n_samples))
+
+
+def lookhd_training(
+    platform: RooflinePlatform, shape: WorkloadShape, n_samples: int
+) -> PhaseResult:
+    """LookHD counter training (Fig. 6) on ``platform``."""
+    return platform.run(lookhd_training_ops(shape, n_samples))
+
+
+def baseline_inference(
+    platform: RooflinePlatform, shape: WorkloadShape, n_queries: int = 1
+) -> PhaseResult:
+    """Baseline per-query inference; FPGA overlaps encode and search."""
+    encode = platform.run(baseline_encoding_ops(shape).scaled(n_queries))
+    search = platform.run(baseline_search_ops(shape).scaled(n_queries))
+    if _supports_pipeline(platform):
+        return overlap(encode, search)
+    return encode + search
+
+
+def lookhd_inference(
+    platform: RooflinePlatform, shape: WorkloadShape, n_queries: int = 1
+) -> PhaseResult:
+    """LookHD per-query inference (compressed search)."""
+    encode = platform.run(lookhd_encoding_ops(shape).scaled(n_queries))
+    search = platform.run(lookhd_search_ops(shape).scaled(n_queries))
+    if _supports_pipeline(platform):
+        return overlap(encode, search)
+    return encode + search
+
+
+def baseline_retraining(
+    platform: RooflinePlatform,
+    shape: WorkloadShape,
+    n_samples: int,
+    update_fraction: float = 0.2,
+) -> PhaseResult:
+    """One baseline retraining iteration over cached encodings."""
+    updates = int(round(n_samples * update_fraction))
+    return platform.run(baseline_retraining_ops(shape, n_samples, updates))
+
+
+def lookhd_retraining(
+    platform: RooflinePlatform,
+    shape: WorkloadShape,
+    n_samples: int,
+    update_fraction: float = 0.2,
+) -> PhaseResult:
+    """One LookHD retraining iteration on the compressed model."""
+    updates = int(round(n_samples * update_fraction))
+    return platform.run(lookhd_retraining_ops(shape, n_samples, updates))
+
+
+def model_size_bytes(shape: WorkloadShape, compressed: bool, bytes_per_element: int = 4) -> int:
+    """Deployed model footprint for the scalability comparisons."""
+    vectors = shape.n_groups if compressed else shape.n_classes
+    return vectors * shape.dim * bytes_per_element

@@ -1,0 +1,47 @@
+"""LookHD: lookup-based encoding, counter training, and model compression.
+
+The paper's primary contribution (Sections III–IV):
+
+* :mod:`repro.lookhd.chunking` — split an ``n``-feature vector into ``m``
+  chunks of ``r`` features;
+* :mod:`repro.lookhd.lookup_table` — pre-enumerate all ``q^r`` chunk
+  encodings once;
+* :mod:`repro.lookhd.encoder` — single-lookup encoding with position-bound
+  chunk aggregation (Eq. 3);
+* :mod:`repro.lookhd.counters` / :mod:`repro.lookhd.trainer` — training that
+  counts chunk-address occurrences and materialises class hypervectors once
+  at the end (Fig. 6);
+* :mod:`repro.lookhd.compression` — compress ``k`` class hypervectors into
+  one (or a few) via random bipolar keys (Eq. 4), with class decorrelation;
+* :mod:`repro.lookhd.noise` — signal/noise analysis of compression (Eq. 5);
+* :mod:`repro.lookhd.retraining` — perceptron retraining directly on the
+  compressed model;
+* :mod:`repro.lookhd.classifier` — the end-to-end public classifier.
+"""
+
+from repro.lookhd.chunking import ChunkLayout
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.compression import CompressedModel, decorrelate_classes
+from repro.lookhd.counters import ChunkCounters
+from repro.lookhd.encoder import LookupEncoder
+from repro.lookhd.lookup_table import ChunkLookupTable
+from repro.lookhd.noise import compression_noise_report
+from repro.lookhd.online import OnlineLookHD
+from repro.lookhd.persistence import load_classifier, save_classifier
+from repro.lookhd.trainer import LookHDTrainer
+
+__all__ = [
+    "ChunkLayout",
+    "ChunkLookupTable",
+    "LookupEncoder",
+    "ChunkCounters",
+    "LookHDTrainer",
+    "CompressedModel",
+    "decorrelate_classes",
+    "compression_noise_report",
+    "OnlineLookHD",
+    "save_classifier",
+    "load_classifier",
+    "LookHDClassifier",
+    "LookHDConfig",
+]

@@ -1,0 +1,252 @@
+"""End-to-end LookHD classifier — the library's primary public API.
+
+Glues together every Section III/IV component: equalized quantization,
+chunk lookup table, counter-based training, optional model compression with
+decorrelation and class grouping, and compressed retraining.
+
+Example
+-------
+>>> from repro.datasets import load_application
+>>> from repro.lookhd import LookHDClassifier, LookHDConfig
+>>> data = load_application("activity")
+>>> clf = LookHDClassifier(LookHDConfig(dim=2000, levels=4, chunk_size=5))
+>>> clf.fit(data.train_features, data.train_labels, retrain_iterations=5)
+>>> accuracy = clf.score(data.test_features, data.test_labels)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hdc.item_memory import LevelItemMemory
+from repro.hdc.model import ClassModel
+from repro.lookhd.chunking import ChunkLayout
+from repro.lookhd.compression import DEFAULT_GROUP_SIZE, CompressedModel
+from repro.lookhd.encoder import LookupEncoder
+from repro.lookhd.lookup_table import ChunkLookupTable
+from repro.lookhd.retraining import RetrainTrace, retrain_compressed
+from repro.lookhd.trainer import LookHDTrainer
+from repro.quantization.base import Quantizer
+from repro.quantization.equalized import EqualizedQuantizer
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_2d, check_positive_int
+
+
+@dataclass(frozen=True)
+class LookHDConfig:
+    """Hyperparameters of a LookHD classifier.
+
+    Attributes
+    ----------
+    dim:
+        Hypervector dimensionality ``D`` (paper efficiency studies: 2000).
+    levels:
+        Equalized quantization levels ``q`` (paper: 2 or 4).
+    chunk_size:
+        Features per chunk ``r`` (paper: 5 for most applications).
+    compress:
+        Fold the trained classes into compressed hypervector(s).
+    group_size:
+        Max classes per compressed hypervector.  The default (12) is the
+        paper's accuracy-preserving "exact mode" (Sec. VI-G): apps with
+        ``k <= 12`` get a single hypervector; SPEECH (k=26) gets three.
+        Set ``None`` to force a single hypervector regardless of ``k``
+        (the headline maximum-compression mode, lossy above ~12 classes).
+    decorrelate:
+        Remove the common class component before compression (Sec. IV-C).
+    seed:
+        Master seed; derives level memory, position memory, and keys.
+    """
+
+    dim: int = 2_000
+    levels: int = 4
+    chunk_size: int = 5
+    compress: bool = True
+    group_size: int | None = DEFAULT_GROUP_SIZE
+    decorrelate: bool = True
+    seed: int = 0
+
+    def __post_init__(self):
+        check_positive_int(self.dim, "dim")
+        check_positive_int(self.levels, "levels")
+        check_positive_int(self.chunk_size, "chunk_size")
+        if self.group_size is not None:
+            check_positive_int(self.group_size, "group_size")
+
+
+#: Group size for the paper's lossless "exact mode" (Sec. VI-G).
+EXACT_GROUP_SIZE = DEFAULT_GROUP_SIZE
+
+
+class LookHDClassifier:
+    """LookHD classification with a ``fit`` / ``predict`` / ``score`` API.
+
+    Parameters
+    ----------
+    config:
+        Hyperparameters; see :class:`LookHDConfig`.
+    quantizer:
+        Optional custom (unfitted) quantizer; defaults to the paper's
+        :class:`~repro.quantization.equalized.EqualizedQuantizer`.
+    """
+
+    def __init__(self, config: LookHDConfig | None = None, quantizer: Quantizer | None = None):
+        self.config = config if config is not None else LookHDConfig()
+        self.quantizer = (
+            quantizer if quantizer is not None else EqualizedQuantizer(self.config.levels)
+        )
+        if self.quantizer.levels != self.config.levels:
+            raise ValueError("quantizer level count must match config.levels")
+        self.encoder: LookupEncoder | None = None
+        self.trainer: LookHDTrainer | None = None
+        self.class_model: ClassModel | None = None
+        self.compressed_model: CompressedModel | None = None
+        self.n_classes: int | None = None
+
+    # -- training ------------------------------------------------------------
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        retrain_iterations: int = 0,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> RetrainTrace:
+        """Train from scratch: counters → class model → (compression) → retrain.
+
+        Parameters
+        ----------
+        features, labels:
+            Training set; integer labels in ``[0, k)``.
+        retrain_iterations:
+            Perceptron passes over the compressed (or raw) model.
+        validation:
+            Optional raw ``(features, labels)`` for the retraining trace.
+
+        Returns
+        -------
+        The retraining trace (empty when ``retrain_iterations == 0``).
+        """
+        cfg = self.config
+        batch = check_2d(features, "features")
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or labels.shape[0] != batch.shape[0]:
+            raise ValueError("labels must be 1-D and align with features")
+        self.n_classes = int(labels.max()) + 1
+        chunk_size = min(cfg.chunk_size, batch.shape[1])
+        layout = ChunkLayout(batch.shape[1], chunk_size)
+        self.quantizer.fit(batch)
+        item_memory = LevelItemMemory(
+            cfg.levels, cfg.dim, rng=derive_rng(cfg.seed, "lookhd-levels")
+        )
+        table = ChunkLookupTable(item_memory, chunk_size)
+        self.encoder = LookupEncoder(
+            self.quantizer, table, layout, seed=derive_rng(cfg.seed, "lookhd-positions")
+        )
+        self.trainer = LookHDTrainer(self.encoder, self.n_classes)
+        self.trainer.observe(batch, labels)
+        self.class_model = self.trainer.build_model()
+        if cfg.compress:
+            self.compressed_model = CompressedModel(
+                self.class_model,
+                group_size=cfg.group_size,
+                decorrelate=cfg.decorrelate,
+                seed=derive_rng(cfg.seed, "lookhd-keys"),
+            )
+        else:
+            self.compressed_model = None
+        return self._retrain(batch, labels, retrain_iterations, validation)
+
+    def _retrain(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        iterations: int,
+        validation: tuple[np.ndarray, np.ndarray] | None,
+    ) -> RetrainTrace:
+        assert self.encoder is not None
+        if iterations == 0:
+            return RetrainTrace()
+        encoded = self.encoder.encode_many(features)
+        encoded_validation = None
+        if validation is not None:
+            encoded_validation = (
+                self.encoder.encode_many(check_2d(validation[0], "validation features")),
+                np.asarray(validation[1]),
+            )
+        if self.compressed_model is not None:
+            return retrain_compressed(
+                self.compressed_model,
+                encoded,
+                labels,
+                iterations=iterations,
+                validation=encoded_validation,
+            )
+        return self._retrain_uncompressed(encoded, labels, iterations, encoded_validation)
+
+    def _retrain_uncompressed(
+        self,
+        encoded: np.ndarray,
+        labels: np.ndarray,
+        iterations: int,
+        validation: tuple[np.ndarray, np.ndarray] | None,
+    ) -> RetrainTrace:
+        assert self.class_model is not None
+        trace = RetrainTrace()
+        for _ in range(iterations):
+            predictions = np.atleast_1d(self.class_model.predict(encoded))
+            wrong = np.flatnonzero(predictions != labels)
+            for index in wrong:
+                self.class_model.retrain_update(
+                    int(labels[index]), int(predictions[index]), encoded[index]
+                )
+            trace.updates_per_iteration.append(int(wrong.size))
+            trace.train_accuracy.append(float(np.mean(predictions == labels)))
+            if validation is not None:
+                val_predictions = np.atleast_1d(self.class_model.predict(validation[0]))
+                trace.validation_accuracy.append(
+                    float(np.mean(val_predictions == validation[1]))
+                )
+            if wrong.size == 0:
+                break
+        return trace
+
+    # -- inference -------------------------------------------------------------
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode raw features with the fitted lookup encoder."""
+        if self.encoder is None:
+            raise RuntimeError("classifier must be fitted before encoding")
+        return self.encoder.encode(features)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Classify raw feature vectors (compressed search when enabled)."""
+        encoded = self.encode(features)
+        if self.compressed_model is not None:
+            return self.compressed_model.predict(encoded)
+        if self.class_model is None:
+            raise RuntimeError("classifier must be fitted before predicting")
+        return self.class_model.predict(encoded)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy."""
+        predictions = np.atleast_1d(self.predict(features))
+        return float(np.mean(predictions == np.asarray(labels)))
+
+    # -- reporting ---------------------------------------------------------------
+
+    def model_size_bytes(self, bytes_per_element: int = 4) -> int:
+        """Deployed model footprint (compressed when compression is on)."""
+        if self.compressed_model is not None:
+            return self.compressed_model.model_size_bytes(bytes_per_element)
+        if self.class_model is None:
+            raise RuntimeError("classifier must be fitted first")
+        return self.class_model.model_size_bytes(bytes_per_element)
+
+    def lookup_table_bytes(self) -> int:
+        """Footprint of the pre-stored chunk table (the BRAM budget)."""
+        if self.encoder is None:
+            raise RuntimeError("classifier must be fitted first")
+        return self.encoder.lookup_table.memory_bytes()

@@ -1,0 +1,100 @@
+"""Lookup-based encoder with position-bound chunk aggregation (Eq. 3).
+
+Encoding a sample is: quantize features → form chunk addresses → read the
+``m`` pre-stored chunk hypervectors → bind each with its position
+hypervector ``P_i`` → sum:
+
+    H = P_1 ⊙ H_1 + P_2 ⊙ H_2 + … + P_m ⊙ H_m
+
+The position binding preserves chunk order; without it, permuting whole
+chunks of the input would encode to the same hypervector (the "naive
+aggregation" the paper rejects, kept available here for the ablation
+bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.item_memory import RandomItemMemory
+from repro.hdc.ops import ACCUM_DTYPE
+from repro.lookhd.chunking import ChunkLayout
+from repro.lookhd.lookup_table import ChunkLookupTable
+from repro.quantization.base import Quantizer
+from repro.quantization.codebook import chunk_addresses
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_2d
+
+
+class LookupEncoder:
+    """Encode feature vectors via the chunk lookup table.
+
+    Parameters
+    ----------
+    quantizer:
+        Fitted quantizer with ``q`` levels.
+    lookup_table:
+        Pre-built table for chunks of size ``r`` over the same levels.
+    layout:
+        Chunk geometry for the expected feature width.
+    seed:
+        Seed for the position hypervectors ``P_1 … P_m``.
+    bind_positions:
+        When ``False``, chunks are aggregated by plain addition (the naive
+        scheme of Sec. III-A); used only for ablation.
+    """
+
+    def __init__(
+        self,
+        quantizer: Quantizer,
+        lookup_table: ChunkLookupTable,
+        layout: ChunkLayout,
+        seed: int | np.random.Generator | None = 0,
+        bind_positions: bool = True,
+    ):
+        if quantizer.levels != lookup_table.q:
+            raise ValueError("quantizer and lookup table disagree on q")
+        if layout.chunk_size != lookup_table.chunk_size:
+            raise ValueError("layout and lookup table disagree on chunk size")
+        self.quantizer = quantizer
+        self.lookup_table = lookup_table
+        self.layout = layout
+        self.dim = lookup_table.dim
+        self.bind_positions = bind_positions
+        self.position_memory = RandomItemMemory(
+            layout.n_chunks, self.dim, rng=derive_rng(seed, "positions")
+        )
+
+    @property
+    def n_features(self) -> int:
+        return self.layout.n_features
+
+    def addresses(self, features: np.ndarray) -> np.ndarray:
+        """Quantize and form chunk addresses: ``(N, n)`` floats → ``(N, m)`` ints."""
+        batch = check_2d(features, "features")
+        if batch.shape[1] != self.layout.n_features:
+            raise ValueError(
+                f"expected {self.layout.n_features} features, got {batch.shape[1]}"
+            )
+        levels = self.quantizer.transform(batch)
+        chunks = self.layout.split_levels(levels)  # (N, m, r)
+        return chunk_addresses(chunks, self.quantizer.levels)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode one sample or a batch to ``(D,)`` / ``(N, D)`` hypervectors."""
+        single = np.asarray(features).ndim == 1
+        addresses = self.addresses(features)  # (N, m)
+        chunk_hvs = self.lookup_table.lookup(addresses).astype(ACCUM_DTYPE)  # (N, m, D)
+        if self.bind_positions:
+            chunk_hvs = chunk_hvs * self.position_memory.vectors[np.newaxis, :, :]
+        encoded = chunk_hvs.sum(axis=1)
+        return encoded[0] if single else encoded
+
+    def encode_many(self, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Encode a large dataset in memory-bounded batches."""
+        batch = check_2d(features, "features")
+        parts = [
+            self.encode(batch[start : start + batch_size])
+            for start in range(0, batch.shape[0], batch_size)
+        ]
+        return np.vstack(parts)

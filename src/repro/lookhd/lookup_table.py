@@ -1,0 +1,124 @@
+"""The pre-stored chunk encoding table (Sec. III-C, Fig. 5).
+
+The table holds one encoded hypervector for each of the ``q^r`` possible
+quantized chunks.  Row ``a`` (addressed per
+:func:`repro.quantization.codebook.chunk_addresses`) stores
+
+    T[a] = L_{c_1} + ρ L_{c_2} + … + ρ^(r−1) L_{c_r}
+
+where ``(c_1 … c_r)`` are the base-``q`` digits of ``a`` — i.e. exactly the
+Eq. 2 encoding of that chunk.  Building the table costs ``O(q^r · D)``
+once; afterwards encoding a chunk is a single row read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.item_memory import LevelItemMemory
+from repro.quantization.codebook import address_to_levels
+from repro.utils.validation import check_positive_int
+
+#: Refuse to materialise tables above this row count; it signals a
+#: misconfiguration (the whole point of LookHD is a small q^r).
+MAX_ROWS = 2**20
+#: Also refuse tables above this many bytes, whatever the row count.
+MAX_BYTES = 512 * 2**20
+
+
+class ChunkLookupTable:
+    """All ``q^r`` chunk encodings, materialised as a ``(q^r, D)`` matrix.
+
+    Parameters
+    ----------
+    item_memory:
+        Level hypervectors (defines ``q`` and ``D``).
+    chunk_size:
+        Features per chunk ``r``.
+    dtype:
+        Element dtype for the table; the paper notes each element needs
+        only ``log2(r)+1``-ish bits, so ``int16`` is ample for practical
+        ``r``.
+    """
+
+    def __init__(
+        self,
+        item_memory: LevelItemMemory,
+        chunk_size: int,
+        dtype: np.dtype = np.int16,
+    ):
+        self.item_memory = item_memory
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.q = item_memory.levels
+        self.dim = item_memory.dim
+        self.n_rows = self.q**self.chunk_size
+        if self.n_rows > MAX_ROWS:
+            raise ValueError(
+                f"lookup table would need {self.n_rows} rows "
+                f"(q={self.q}, r={self.chunk_size}); reduce q or r"
+            )
+        estimated_bytes = self.n_rows * self.dim * np.dtype(dtype).itemsize
+        if estimated_bytes > MAX_BYTES:
+            raise ValueError(
+                f"lookup table would need {estimated_bytes / 2**20:.0f} MiB "
+                f"(q={self.q}, r={self.chunk_size}, D={self.dim}); reduce q, r, or D"
+            )
+        self.table = self._build(dtype)
+
+    def _build(self, dtype: np.dtype) -> np.ndarray:
+        # Dynamic programming over chunk positions: the encodings for
+        # prefixes of length p+1 are every prefix encoding plus every
+        # rotated level vector, in address order (first feature is the
+        # most significant digit).
+        rotated = np.stack(
+            [
+                np.roll(self.item_memory.vectors, shift, axis=1)
+                for shift in range(self.chunk_size)
+            ]
+        )  # (r, q, D)
+        table = rotated[0].astype(np.int32)  # prefixes of length 1: (q, D)
+        for position in range(1, self.chunk_size):
+            # Each current prefix expands into q children; the child address
+            # is prefix_address * q + level, so repeat prefixes then tile
+            # levels — exactly numpy broadcasting over a new axis.
+            table = (
+                table[:, np.newaxis, :] + rotated[position][np.newaxis, :, :]
+            ).reshape(-1, self.dim)
+        return table.astype(dtype)
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def lookup(self, addresses: np.ndarray) -> np.ndarray:
+        """Read the encoded hypervector(s) for chunk address(es)."""
+        return self.table[np.asarray(addresses)]
+
+    def weighted_sum(self, counts: np.ndarray) -> np.ndarray:
+        """``Σ_a counts[a] · T[a]`` — the counter × table product of Fig. 6.
+
+        This single matrix-vector product replaces bundling every training
+        sample's chunk encoding individually.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n_rows,):
+            raise ValueError(f"counts must have shape ({self.n_rows},), got {counts.shape}")
+        return counts @ self.table.astype(np.int64)
+
+    def verify_against_encoder(self, n_samples: int = 16, rng=0) -> bool:
+        """Spot-check that table rows equal the direct Eq. 2 encoding."""
+        from repro.utils.rng import ensure_rng
+
+        generator = ensure_rng(rng)
+        addresses = generator.integers(0, self.n_rows, size=n_samples)
+        levels = address_to_levels(addresses, self.q, self.chunk_size)
+        for address, level_row in zip(addresses, levels):
+            direct = np.zeros(self.dim, dtype=np.int64)
+            for position, level in enumerate(level_row):
+                direct += np.roll(self.item_memory[int(level)], position).astype(np.int64)
+            if not np.array_equal(direct, self.table[address].astype(np.int64)):
+                return False
+        return True
+
+    def memory_bytes(self) -> int:
+        """Table footprint in bytes (the BRAM budget driver of Sec. V-A)."""
+        return int(self.table.nbytes)

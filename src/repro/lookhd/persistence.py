@@ -1,0 +1,122 @@
+"""Save/load trained LookHD classifiers as ``.npz`` deployment artifacts.
+
+The deployed artifact is exactly what the paper's FPGA would flash: the
+quantizer boundaries, the chunk lookup table, the position hypervectors,
+and the compressed model with its keys.  Everything needed for inference
+is materialised (no RNG state is required at load time), so an artifact
+saved here and evaluated anywhere reproduces predictions bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.hdc.item_memory import LevelItemMemory, RandomItemMemory
+from repro.hdc.model import ClassModel
+from repro.lookhd.chunking import ChunkLayout
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.compression import CompressedModel
+from repro.lookhd.encoder import LookupEncoder
+from repro.lookhd.lookup_table import ChunkLookupTable
+from repro.quantization.equalized import EqualizedQuantizer
+
+_FORMAT_VERSION = 1
+
+
+def save_classifier(clf: LookHDClassifier, path: str | Path) -> Path:
+    """Persist a fitted classifier to ``path`` (``.npz``)."""
+    if clf.encoder is None or clf.class_model is None:
+        raise RuntimeError("classifier must be fitted before saving")
+    cfg = clf.config
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "dim": cfg.dim,
+        "levels": cfg.levels,
+        "chunk_size": clf.encoder.layout.chunk_size,
+        "n_features": clf.encoder.layout.n_features,
+        "n_classes": clf.n_classes,
+        "compress": cfg.compress,
+        "decorrelate": cfg.decorrelate,
+        "group_size": -1 if cfg.group_size is None else cfg.group_size,
+        "quantizer_boundaries": clf.quantizer.boundaries,
+        "level_vectors": clf.encoder.lookup_table.item_memory.vectors,
+        "position_vectors": clf.encoder.position_memory.vectors,
+        "class_vectors": clf.class_model.class_vectors,
+    }
+    if clf.compressed_model is not None:
+        comp = clf.compressed_model
+        payload.update(
+            compressed=comp.compressed,
+            prepared_classes=comp.prepared_classes,
+            keys=comp.keys.vectors,
+            comp_group_size=comp.group_size,
+            common_direction=comp._common_direction,
+            learning_rate=comp.learning_rate,
+        )
+    path = Path(path)
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_classifier(path: str | Path) -> LookHDClassifier:
+    """Restore a classifier saved by :func:`save_classifier`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported artifact version {version}")
+        cfg = LookHDConfig(
+            dim=int(archive["dim"]),
+            levels=int(archive["levels"]),
+            chunk_size=int(archive["chunk_size"]),
+            compress=bool(archive["compress"]),
+            decorrelate=bool(archive["decorrelate"]),
+            group_size=(None if int(archive["group_size"]) < 0 else int(archive["group_size"])),
+        )
+        clf = LookHDClassifier(cfg)
+
+        quantizer = EqualizedQuantizer(cfg.levels)
+        quantizer._boundaries = archive["quantizer_boundaries"]
+        quantizer._fitted = True
+        clf.quantizer = quantizer
+
+        memory = LevelItemMemory.__new__(LevelItemMemory)
+        memory.levels = cfg.levels
+        memory.dim = cfg.dim
+        memory.vectors = archive["level_vectors"]
+        table = ChunkLookupTable(memory, cfg.chunk_size)
+        layout = ChunkLayout(int(archive["n_features"]), cfg.chunk_size)
+        encoder = LookupEncoder(quantizer, table, layout, seed=0)
+        encoder.position_memory.vectors = archive["position_vectors"]
+        clf.encoder = encoder
+
+        clf.n_classes = int(archive["n_classes"])
+        model = ClassModel(clf.n_classes, cfg.dim)
+        model.class_vectors = archive["class_vectors"]
+        clf.class_model = model
+
+        if "compressed" in archive:
+            comp = CompressedModel.__new__(CompressedModel)
+            comp.n_classes = clf.n_classes
+            comp.dim = cfg.dim
+            comp.decorrelate = cfg.decorrelate
+            comp.group_size = int(archive["comp_group_size"])
+            comp.n_groups = -(-comp.n_classes // comp.group_size)
+            keys = RandomItemMemory.__new__(RandomItemMemory)
+            keys.count = clf.n_classes
+            keys.dim = cfg.dim
+            keys.vectors = archive["keys"]
+            comp.keys = keys
+            comp.compressed = archive["compressed"]
+            comp.prepared_classes = archive["prepared_classes"]
+            comp._common_direction = archive["common_direction"]
+            comp.learning_rate = float(archive["learning_rate"])
+            comp._normalize = True
+            clf.compressed_model = comp
+        else:
+            clf.compressed_model = None
+    return clf

@@ -1,0 +1,114 @@
+"""Retraining on the compressed model (Sec. IV-D, Fig. 9).
+
+Each iteration scans the (already encoded) training set, scores it on the
+compressed model, and for every misprediction applies
+
+    C̃ = C + P'_correct ⊙ H − P'_wrong ⊙ H
+
+to a *shadow copy* of the compressed hypervectors, exactly as the hardware
+does (Sec. V-C): the live model keeps serving inference while the copy
+accumulates the epoch's updates and is swapped in at the end of the pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.lookhd.compression import CompressedModel
+
+
+@dataclass
+class RetrainTrace:
+    """Accuracy/update history across retraining iterations."""
+
+    updates_per_iteration: list[int] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    validation_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def iterations(self) -> int:
+        return len(self.updates_per_iteration)
+
+    @property
+    def total_updates(self) -> int:
+        return int(sum(self.updates_per_iteration))
+
+
+def retrain_compressed(
+    model: CompressedModel,
+    encoded_train: np.ndarray,
+    labels: np.ndarray,
+    iterations: int = 10,
+    validation: tuple[np.ndarray, np.ndarray] | None = None,
+    stop_when_clean: bool = True,
+) -> RetrainTrace:
+    """Run perceptron retraining on ``model`` in place.
+
+    Parameters
+    ----------
+    model:
+        Compressed model to refine (mutated).
+    encoded_train:
+        ``(N, D)`` encoded training hypervectors.
+    labels:
+        ``(N,)`` integer labels.
+    iterations:
+        Maximum passes (the paper uses ~10).
+    validation:
+        Optional ``(encoded, labels)`` pair scored after each pass.
+    stop_when_clean:
+        Stop early once a pass makes zero updates.
+
+    Returns
+    -------
+    :class:`RetrainTrace` with per-iteration updates and accuracies.
+    """
+    encoded_train = np.atleast_2d(np.asarray(encoded_train))
+    labels = np.asarray(labels)
+    if labels.shape[0] != encoded_train.shape[0]:
+        raise ValueError("labels must align with encoded_train")
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    trace = RetrainTrace()
+    # The paper retrains "until the accuracy stabilises over the validation
+    # data"; with a fixed iteration budget the equivalent is keeping the
+    # best-scoring state seen and restoring it at the end, which also guards
+    # against late-pass perceptron thrash.
+    best_accuracy = -1.0
+    best_state: tuple[np.ndarray, np.ndarray] | None = None
+    selection = validation if validation is not None else (encoded_train, labels)
+
+    def _selection_accuracy() -> float:
+        sel_encoded, sel_labels = selection
+        sel_predictions = np.atleast_1d(model.predict(sel_encoded))
+        return float(np.mean(sel_predictions == np.asarray(sel_labels)))
+
+    for _ in range(iterations):
+        accuracy_now = _selection_accuracy()
+        if accuracy_now > best_accuracy:
+            best_accuracy = accuracy_now
+            best_state = (model.compressed.copy(), model.prepared_classes.copy())
+        # All predictions for the pass are computed before any update, so
+        # every sample sees the same (pre-update) model — the shadow-copy
+        # semantics of the hardware pipeline (Sec. V-C).
+        predictions = np.atleast_1d(model.predict(encoded_train))
+        wrong = np.flatnonzero(predictions != labels)
+        for index in wrong:
+            model.retrain_update(
+                int(labels[index]), int(predictions[index]), encoded_train[index]
+            )
+        trace.updates_per_iteration.append(int(wrong.size))
+        trace.train_accuracy.append(float(np.mean(predictions == labels)))
+        if validation is not None:
+            val_encoded, val_labels = validation
+            val_predictions = np.atleast_1d(model.predict(val_encoded))
+            trace.validation_accuracy.append(
+                float(np.mean(val_predictions == np.asarray(val_labels)))
+            )
+        if stop_when_clean and wrong.size == 0:
+            break
+    if iterations > 0 and best_state is not None and _selection_accuracy() < best_accuracy:
+        model.compressed, model.prepared_classes = best_state
+    return trace

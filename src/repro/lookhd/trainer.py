@@ -1,0 +1,90 @@
+"""Counter-based LookHD training (Sec. III-D, Fig. 6).
+
+Pipeline per the hardware description:
+
+A. quantize each feature to its nearest equalized level;
+B. map levels to codebooks;
+C. concatenate codebooks per chunk into a table address;
+D. increment the addressed counter — one per (class, chunk, address);
+E. after the pass, multiply counters with the pre-stored table rows and
+   accumulate the chunk hypervectors;
+F. bind each chunk hypervector with its position hypervector ``P_i`` and
+   accumulate into the class hypervector.
+
+The result is bit-identical to bundling per-sample Eq. 3 encodings (proved
+by ``tests/lookhd/test_trainer.py``), while touching each training sample
+only to increment ``m`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.model import ClassModel
+from repro.lookhd.counters import ChunkCounters
+from repro.lookhd.encoder import LookupEncoder
+from repro.utils.validation import check_2d
+
+
+class LookHDTrainer:
+    """Builds a :class:`~repro.hdc.model.ClassModel` from counters.
+
+    Parameters
+    ----------
+    encoder:
+        A fitted :class:`~repro.lookhd.encoder.LookupEncoder`; the trainer
+        reuses its quantizer, table, and position memory so training and
+        inference see the same mapping.
+    n_classes:
+        Number of classes ``k``.
+    """
+
+    def __init__(self, encoder: LookupEncoder, n_classes: int):
+        self.encoder = encoder
+        self.n_classes = int(n_classes)
+        if self.n_classes <= 0:
+            raise ValueError(f"n_classes must be positive, got {n_classes}")
+        self.counters = [
+            ChunkCounters(encoder.layout.n_chunks, len(encoder.lookup_table))
+            for _ in range(self.n_classes)
+        ]
+
+    def observe(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Count chunk addresses for a batch of labelled samples.
+
+        May be called repeatedly (streaming / out-of-core training); the
+        model is only materialised by :meth:`build_model`.
+        """
+        batch = check_2d(features, "features")
+        labels = np.asarray(labels)
+        if labels.ndim != 1 or labels.shape[0] != batch.shape[0]:
+            raise ValueError("labels must be 1-D and align with features")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
+            raise ValueError(f"labels must be in [0, {self.n_classes})")
+        addresses = self.encoder.addresses(batch)  # (N, m)
+        for class_index in range(self.n_classes):
+            mask = labels == class_index
+            if np.any(mask):
+                self.counters[class_index].observe(addresses[mask])
+
+    def build_model(self) -> ClassModel:
+        """Materialise class hypervectors from the counters (steps E–F)."""
+        model = ClassModel(self.n_classes, self.encoder.dim)
+        table = self.encoder.lookup_table.table
+        if self.encoder.bind_positions:
+            positions = self.encoder.position_memory.vectors
+        else:
+            positions = np.ones(
+                (self.encoder.layout.n_chunks, self.encoder.dim), dtype=np.int8
+            )
+        for class_index, counter in enumerate(self.counters):
+            model.class_vectors[class_index] = counter.materialize(table, positions)
+        return model
+
+    def samples_seen(self) -> np.ndarray:
+        """Per-class sample counts observed so far."""
+        return np.array([counter.n_samples for counter in self.counters])
+
+    def counter_memory_bytes(self, bytes_per_counter: int = 4) -> int:
+        """Total counter storage across classes."""
+        return sum(c.memory_bytes(bytes_per_counter) for c in self.counters)

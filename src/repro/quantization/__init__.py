@@ -1,0 +1,23 @@
+"""Feature quantization: linear and equalized (quantile) schemes.
+
+Section III-B of the paper shows that linearly spaced quantization levels
+waste codes on sparsely populated value ranges, while boundaries chosen so
+every level receives the same probability mass ("equalized" quantization)
+let HDC reach full accuracy with ``q = 2`` or ``4`` levels — the key enabler
+for the ``q^r`` lookup table.
+"""
+
+from repro.quantization.base import Quantizer
+from repro.quantization.codebook import Codebook, chunk_addresses
+from repro.quantization.equalized import EqualizedQuantizer
+from repro.quantization.linear import LinearQuantizer
+from repro.quantization.per_feature import PerFeatureEqualizedQuantizer
+
+__all__ = [
+    "Quantizer",
+    "LinearQuantizer",
+    "EqualizedQuantizer",
+    "PerFeatureEqualizedQuantizer",
+    "Codebook",
+    "chunk_addresses",
+]

@@ -1,0 +1,84 @@
+"""Codebook addressing: quantized levels → lookup-table row addresses.
+
+Section III-C: each quantized level is assigned a ``log2(q)``-bit code, and
+the concatenation of the ``r`` codes in a chunk is a direct address into
+the pre-stored table of ``q^r`` encoded hypervectors — turning an
+associative search into a plain memory read.  In software the concatenated
+code is simply the base-``q`` integer ``Σ_j level_j · q^(r−1−j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+class Codebook:
+    """Binary code assignment for ``q`` quantization levels.
+
+    Level ``i`` gets the ``bits``-wide binary code of ``i``.  The class
+    exists mostly to mirror the hardware description (and to render codes
+    for documentation/examples); the fast path is :func:`chunk_addresses`.
+    """
+
+    def __init__(self, levels: int):
+        self.levels = check_positive_int(levels, "levels")
+        self.bits = max(1, int(np.ceil(np.log2(self.levels))))
+
+    def code(self, level: int) -> str:
+        """The binary code string for ``level`` (e.g. level 2 of q=4 → '10')."""
+        if not 0 <= level < self.levels:
+            raise ValueError(f"level must be in [0, {self.levels}), got {level}")
+        return format(level, f"0{self.bits}b")
+
+    def codes(self) -> list[str]:
+        """All level codes in order."""
+        return [self.code(level) for level in range(self.levels)]
+
+    def concatenate(self, levels: np.ndarray) -> str:
+        """Concatenated code string for a chunk of level indices."""
+        return "".join(self.code(int(level)) for level in np.asarray(levels).ravel())
+
+
+def chunk_addresses(levels: np.ndarray, q: int) -> np.ndarray:
+    """Convert per-feature level indices into lookup-table row addresses.
+
+    Parameters
+    ----------
+    levels:
+        ``(…, r)`` integer array of quantized levels in ``[0, q)``; the last
+        axis is the chunk.
+    q:
+        Number of quantization levels.
+
+    Returns
+    -------
+    ``(…,)`` integer addresses in ``[0, q**r)``; address ``a`` encodes the
+    chunk's levels in big-endian base ``q`` (first feature is the most
+    significant digit), matching :class:`Codebook.concatenate`.
+    """
+    q = check_positive_int(q, "q")
+    levels = np.asarray(levels)
+    if levels.ndim == 0:
+        raise ValueError("levels must have at least one axis (the chunk axis)")
+    if levels.size and (levels.min() < 0 or levels.max() >= q):
+        raise ValueError(f"level indices must be in [0, {q})")
+    r = levels.shape[-1]
+    weights = q ** np.arange(r - 1, -1, -1, dtype=np.int64)
+    return (levels.astype(np.int64) * weights).sum(axis=-1)
+
+
+def address_to_levels(addresses: np.ndarray, q: int, r: int) -> np.ndarray:
+    """Inverse of :func:`chunk_addresses`: addresses → ``(…, r)`` levels."""
+    q = check_positive_int(q, "q")
+    r = check_positive_int(r, "r")
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size and (addresses.min() < 0 or addresses.max() >= q**r):
+        raise ValueError(f"addresses must be in [0, {q**r})")
+    digits = np.empty(addresses.shape + (r,), dtype=np.int64)
+    remaining = addresses.copy()
+    for position in range(r - 1, -1, -1):
+        digits[..., position] = remaining % q
+        remaining //= q
+    return digits

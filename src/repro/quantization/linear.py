@@ -1,0 +1,37 @@
+"""Linearly spaced quantization — the conventional HDC scheme."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.base import Quantizer
+
+
+class LinearQuantizer(Quantizer):
+    """Quantize into ``levels`` equal-width bins over ``[f_min, f_max]``.
+
+    This is the baseline scheme of prior HDC work ([33], [37], [47] in the
+    paper): the observed value range is divided into ``q`` equal intervals
+    regardless of how the data is distributed, so skewed features waste
+    levels on nearly empty ranges (Fig. 3a).
+    """
+
+    def __init__(self, levels: int):
+        super().__init__(levels)
+        self._low = 0.0
+        self._width = 1.0
+
+    def _fit(self, flat_values: np.ndarray) -> None:
+        low = float(flat_values.min())
+        high = float(flat_values.max())
+        self._low = low
+        span = high - low
+        # A constant feature collapses to a single level; keep width positive.
+        self._width = span / self.levels if span > 0 else 1.0
+
+    def _transform(self, values: np.ndarray) -> np.ndarray:
+        return np.floor((values - self._low) / self._width).astype(np.int64)
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        return self._low + self._width * np.arange(1, self.levels)

@@ -1,0 +1,78 @@
+"""Per-feature equalized quantization (library extension / ablation).
+
+The paper (and :class:`~repro.quantization.equalized.EqualizedQuantizer`)
+fits quantile boundaries on the *pooled* feature values, which doubles as
+implicit feature selection: near-constant features collapse into a single
+level.  This variant fits boundaries per feature instead, the natural
+choice when features live on incommensurate scales (e.g. mixed sensor
+units).  `benchmarks/test_ablations.py` compares the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantization.base import Quantizer
+from repro.utils.validation import check_2d
+
+
+class PerFeatureEqualizedQuantizer(Quantizer):
+    """Quantile boundaries fitted independently for every feature column.
+
+    Unlike the pooled quantizers this one is shape-aware: it must be fit
+    on the full ``(N, n)`` training matrix and transforms arrays whose
+    last axis has the same feature width.
+    """
+
+    def __init__(self, levels: int):
+        super().__init__(levels)
+        self._boundaries = np.empty((0, 0), dtype=np.float64)
+
+    def fit(self, values: np.ndarray) -> "PerFeatureEqualizedQuantizer":
+        matrix = check_2d(np.asarray(values, dtype=np.float64), "values")
+        if matrix.size == 0:
+            raise ValueError("cannot fit a quantizer on empty data")
+        if not np.all(np.isfinite(matrix)):
+            raise ValueError("training values must be finite")
+        quantiles = np.arange(1, self.levels) / self.levels
+        boundaries = np.quantile(matrix, quantiles, axis=0).T  # (n, q-1)
+        boundaries = np.maximum.accumulate(boundaries, axis=1)
+        for column in boundaries:
+            for index in range(1, column.size):
+                if column[index] <= column[index - 1]:
+                    column[index] = np.nextafter(column[index - 1], np.inf)
+        self._boundaries = boundaries
+        self._fitted = True
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("quantizer must be fitted before transform")
+        array = np.asarray(values, dtype=np.float64)
+        single = array.ndim == 1
+        matrix = check_2d(array, "values")
+        if matrix.shape[1] != self._boundaries.shape[0]:
+            raise ValueError(
+                f"expected {self._boundaries.shape[0]} features, "
+                f"got {matrix.shape[1]}"
+            )
+        levels = np.empty(matrix.shape, dtype=np.int64)
+        for feature in range(matrix.shape[1]):
+            levels[:, feature] = np.searchsorted(
+                self._boundaries[feature], matrix[:, feature], side="right"
+            )
+        levels = np.clip(levels, 0, self.levels - 1)
+        return levels[0] if single else levels
+
+    # The base-class hooks are unused (fit/transform are overridden), but
+    # must exist to satisfy the abstract interface.
+    def _fit(self, flat_values: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _transform(self, values: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """``(n, q−1)`` per-feature boundary matrix."""
+        return self._boundaries.copy()

@@ -1,0 +1,21 @@
+"""Shared utilities: seeded randomness, argument validation, statistics."""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_in_range,
+    check_positive_int,
+    check_power_of_two,
+)
+
+__all__ = [
+    "derive_rng",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_1d",
+    "check_2d",
+    "check_in_range",
+    "check_positive_int",
+    "check_power_of_two",
+]

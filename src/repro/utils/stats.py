@@ -1,0 +1,54 @@
+"""Small statistics helpers shared by experiments and noise analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a 1-D sample."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "Summary":
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            raise ValueError("cannot summarise an empty sample")
+        return cls(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            count=int(values.size),
+        )
+
+
+def geometric_mean(values: np.ndarray) -> float:
+    """Geometric mean of strictly positive values.
+
+    Ratio metrics (speedups, energy improvements) are averaged geometrically
+    throughout the experiments, as is standard for normalised benchmarks.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot average an empty sample")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def histogram_fractions(values: np.ndarray, bins: np.ndarray) -> np.ndarray:
+    """Histogram of ``values`` over ``bins`` normalised to fractions."""
+    counts, _ = np.histogram(np.asarray(values, dtype=np.float64), bins=bins)
+    total = counts.sum()
+    if total == 0:
+        return np.zeros_like(counts, dtype=np.float64)
+    return counts / total

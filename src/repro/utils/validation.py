@@ -1,0 +1,56 @@
+"""Argument-validation helpers used across the public API.
+
+Raising early with a clear message is preferred over letting NumPy emit a
+shape error three stack frames deep inside an encoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as ``int``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Validate ``low <= value <= high`` and return ``value`` as ``float``."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive power of two."""
+    value = check_positive_int(value, name)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_1d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 1-D :class:`numpy.ndarray` or raise."""
+    array = np.asarray(array)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {array.shape}")
+    return array
+
+
+def check_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce ``array`` to a 2-D :class:`numpy.ndarray` or raise.
+
+    A 1-D array is promoted to a single-row matrix, matching the common
+    scikit-learn convention of accepting a single sample.
+    """
+    array = np.asarray(array)
+    if array.ndim == 1:
+        array = array[np.newaxis, :]
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {array.shape}")
+    return array

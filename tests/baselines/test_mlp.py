@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPClassifier, MLPConfig
+
+
+class TestMLPConfig:
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            MLPConfig(learning_rate=0.0)
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            MLPConfig(weight_decay=-1.0)
+
+
+class TestMLPClassifier:
+    def test_learns_separable_data(self, small_dataset):
+        clf = MLPClassifier(MLPConfig(hidden_units=32, epochs=15, seed=0))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert clf.score(small_dataset.test_features, small_dataset.test_labels) > 0.85
+
+    def test_loss_decreases(self, small_dataset):
+        clf = MLPClassifier(MLPConfig(hidden_units=32, epochs=10, seed=1))
+        losses = clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert losses[-1] < losses[0]
+
+    def test_probabilities_normalised(self, small_dataset):
+        clf = MLPClassifier(MLPConfig(hidden_units=16, epochs=3, seed=2))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        probs = clf.predict_proba(small_dataset.test_features[:5])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_single_sample_predict(self, small_dataset):
+        clf = MLPClassifier(MLPConfig(hidden_units=16, epochs=2, seed=3))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert isinstance(clf.predict(small_dataset.test_features[0]), (int, np.integer))
+
+    def test_parameter_count(self, small_dataset):
+        clf = MLPClassifier(MLPConfig(hidden_units=16, epochs=1, seed=4))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        n, h, k = small_dataset.n_features, 16, small_dataset.n_classes
+        assert clf.parameter_count() == n * h + h + h * k + k
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros(3))
+
+    def test_deterministic_given_seed(self, small_dataset):
+        scores = []
+        for _ in range(2):
+            clf = MLPClassifier(MLPConfig(hidden_units=16, epochs=3, seed=5))
+            clf.fit(small_dataset.train_features, small_dataset.train_labels)
+            scores.append(clf.score(small_dataset.test_features, small_dataset.test_labels))
+        assert scores[0] == scores[1]
+
+    def test_constant_feature_handled(self):
+        rng = np.random.default_rng(6)
+        features = rng.random((40, 3))
+        features[:, 1] = 7.0  # zero variance
+        labels = (features[:, 0] > 0.5).astype(int)
+        clf = MLPClassifier(MLPConfig(hidden_units=8, epochs=10, seed=7))
+        clf.fit(features, labels)
+        assert np.isfinite(clf.predict_proba(features)).all()

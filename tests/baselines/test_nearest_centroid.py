@@ -1,0 +1,32 @@
+import numpy as np
+import pytest
+
+from repro.baselines.nearest_centroid import NearestCentroidClassifier
+
+
+class TestNearestCentroid:
+    def test_perfect_on_trivial_clusters(self):
+        features = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+        labels = np.array([0, 0, 1, 1])
+        clf = NearestCentroidClassifier().fit(features, labels)
+        assert clf.score(features, labels) == 1.0
+
+    def test_single_sample_predict(self):
+        clf = NearestCentroidClassifier().fit(
+            np.array([[0.0], [1.0]]), np.array([0, 1])
+        )
+        assert clf.predict(np.array([0.1])) == 0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            NearestCentroidClassifier().predict(np.zeros(2))
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier().fit(np.zeros((2, 2)), np.array([0, 2]))
+
+    def test_learns_synthetic_data(self, small_dataset):
+        clf = NearestCentroidClassifier().fit(
+            small_dataset.train_features, small_dataset.train_labels
+        )
+        assert clf.score(small_dataset.test_features, small_dataset.test_labels) > 0.9

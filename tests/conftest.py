@@ -1,0 +1,39 @@
+"""Shared fixtures: small, fast datasets and pre-trained classifiers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A quick, well-separated 4-class problem (fixed seed)."""
+    spec = SyntheticSpec(
+        n_features=40,
+        n_classes=4,
+        n_train=240,
+        n_test=120,
+        class_separation=3.0,
+        informative_fraction=0.6,
+        label_noise=0.0,
+        skew=0.8,
+        seed=7,
+    )
+    return make_synthetic_classification(spec, name="small")
+
+
+@pytest.fixture(scope="session")
+def fitted_lookhd(small_dataset):
+    """A LookHD classifier trained (without retraining) on small_dataset."""
+    clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=3))
+    clf.fit(small_dataset.train_features, small_dataset.train_labels)
+    return clf
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, train_test_split
+
+
+def make_dataset(n_train=20, n_test=10, n_features=4, k=3):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        train_features=rng.random((n_train, n_features)),
+        train_labels=rng.integers(0, k, size=n_train),
+        test_features=rng.random((n_test, n_features)),
+        test_labels=rng.integers(0, k, size=n_test),
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        data = make_dataset()
+        assert data.n_features == 4
+        assert data.n_train == 20
+        assert data.n_test == 10
+        assert 1 <= data.n_classes <= 3
+
+    def test_misaligned_labels_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                train_features=rng.random((5, 2)),
+                train_labels=np.zeros(4, dtype=int),
+                test_features=rng.random((2, 2)),
+                test_labels=np.zeros(2, dtype=int),
+            )
+
+    def test_feature_width_mismatch_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                train_features=rng.random((5, 2)),
+                train_labels=np.zeros(5, dtype=int),
+                test_features=rng.random((2, 3)),
+                test_labels=np.zeros(2, dtype=int),
+            )
+
+    def test_subsample_train(self):
+        data = make_dataset(n_train=50)
+        sub = data.subsample_train(10)
+        assert sub.n_train == 10
+        assert sub.n_test == data.n_test
+        assert sub.metadata["subsampled_train"] == 10
+
+    def test_subsample_larger_than_train_is_noop(self):
+        data = make_dataset(n_train=10)
+        assert data.subsample_train(100) is data
+
+    def test_describe(self):
+        assert "toy" in make_dataset().describe()
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        rng = np.random.default_rng(3)
+        data = train_test_split(rng.random((100, 3)), rng.integers(0, 2, 100), 0.3)
+        assert data.n_test == 30
+        assert data.n_train == 70
+
+    def test_no_sample_lost_or_duplicated(self):
+        rng = np.random.default_rng(4)
+        features = np.arange(50, dtype=float)[:, np.newaxis]
+        data = train_test_split(features, np.zeros(50, dtype=int), 0.2, rng=1)
+        combined = np.sort(
+            np.concatenate([data.train_features, data.test_features]).ravel()
+        )
+        assert np.array_equal(combined, np.arange(50, dtype=float))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(5)
+        features = rng.random((40, 2))
+        labels = rng.integers(0, 2, 40)
+        a = train_test_split(features, labels, 0.25, rng=9)
+        b = train_test_split(features, labels, 0.25, rng=9)
+        assert np.array_equal(a.train_features, b.train_features)
+
+    def test_degenerate_split_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError):
+            train_test_split(rng.random((10, 2)), np.zeros(10, dtype=int), 0.0)

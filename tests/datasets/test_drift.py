@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.datasets.drift import check_in_range_progress, drifting_stream
+from repro.datasets.synthetic import SyntheticSpec
+
+SPEC = SyntheticSpec(
+    n_features=30, n_classes=3, class_separation=4.0,
+    informative_fraction=0.8, skew=0.8, seed=5,
+)
+
+
+class TestDriftingStream:
+    def test_batch_count_and_shapes(self):
+        batches = drifting_stream(SPEC, n_batches=5, batch_size=40)
+        assert len(batches) == 5
+        for batch in batches:
+            assert batch.features.shape == (40, 30)
+            assert batch.labels.shape == (40,)
+
+    def test_incremental_progress_monotone(self):
+        batches = drifting_stream(SPEC, n_batches=6)
+        assert check_in_range_progress(batches)
+        assert batches[0].drift_progress == 0.0
+        assert batches[-1].drift_progress == 1.0
+
+    def test_abrupt_progress_steps(self):
+        batches = drifting_stream(SPEC, n_batches=6, abrupt=True)
+        progresses = [b.drift_progress for b in batches]
+        assert progresses[:3] == [0.0, 0.0, 0.0]
+        assert progresses[3:] == [1.0, 1.0, 1.0]
+
+    def test_zero_magnitude_is_stationary(self):
+        batches = drifting_stream(SPEC, n_batches=4, batch_size=200, drift_magnitude=0.0)
+        first_mean = batches[0].features.mean(axis=0)
+        last_mean = batches[-1].features.mean(axis=0)
+        assert np.allclose(first_mean, last_mean, rtol=0.5)
+
+    def test_drift_actually_moves_distribution(self):
+        batches = drifting_stream(SPEC, n_batches=4, batch_size=300, drift_magnitude=3.0)
+        first = batches[0].features.mean()
+        last = batches[-1].features.mean()
+        assert abs(first - last) > 0.01
+
+    def test_deterministic_given_seed(self):
+        a = drifting_stream(SPEC, n_batches=3)
+        b = drifting_stream(SPEC, n_batches=3)
+        assert np.array_equal(a[1].features, b[1].features)
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(ValueError):
+            drifting_stream(SPEC, n_batches=0)
+        with pytest.raises(ValueError):
+            drifting_stream(SPEC, drift_magnitude=-1.0)
+
+
+class TestOnlineAdaptationUnderDrift:
+    def test_online_learner_tracks_incremental_drift(self):
+        # The online learner keeps adapting; a frozen counter-trained model
+        # decays as the distribution walks away.
+        from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+        from repro.lookhd.online import OnlineLookHD
+
+        batches = drifting_stream(
+            SPEC, n_batches=8, batch_size=150, drift_magnitude=3.0
+        )
+        frozen = LookHDClassifier(
+            LookHDConfig(dim=1024, levels=4, chunk_size=5, compress=False, seed=2)
+        )
+        frozen.fit(batches[0].features, batches[0].labels)
+        online = OnlineLookHD(frozen.encoder, SPEC.n_classes)
+        online.partial_fit(batches[0].features, batches[0].labels)
+
+        frozen_last = online_last = None
+        for batch in batches[1:]:
+            frozen_last = frozen.score(batch.features, batch.labels)
+            online_last = online.score(batch.features, batch.labels)
+            online.partial_fit(batch.features, batch.labels)
+        assert online_last >= frozen_last

@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.loaders import load_csv, load_npz, save_npz
+
+
+@pytest.fixture
+def toy_dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        train_features=rng.random((12, 3)),
+        train_labels=rng.integers(0, 2, size=12),
+        test_features=rng.random((6, 3)),
+        test_labels=rng.integers(0, 2, size=6),
+    )
+
+
+class TestNpzRoundTrip:
+    def test_save_and_load(self, toy_dataset, tmp_path):
+        path = tmp_path / "toy.npz"
+        save_npz(toy_dataset, path)
+        loaded = load_npz(path)
+        assert np.allclose(loaded.train_features, toy_dataset.train_features)
+        assert np.array_equal(loaded.test_labels, toy_dataset.test_labels)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_npz(tmp_path / "absent.npz")
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, train_features=np.zeros((2, 2)))
+        with pytest.raises(KeyError):
+            load_npz(path)
+
+    def test_name_defaults_to_stem(self, toy_dataset, tmp_path):
+        path = tmp_path / "mydata.npz"
+        save_npz(toy_dataset, path)
+        assert load_npz(path).name == "mydata"
+
+
+class TestCsvLoader:
+    def test_load_and_split(self, tmp_path):
+        rng = np.random.default_rng(1)
+        rows = np.hstack([rng.random((20, 4)), rng.integers(0, 3, size=(20, 1))])
+        path = tmp_path / "data.csv"
+        np.savetxt(path, rows, delimiter=",")
+        data = load_csv(path, test_fraction=0.25)
+        assert data.n_features == 4
+        assert data.n_train + data.n_test == 20
+
+    def test_negative_labels_rejected(self, tmp_path):
+        rows = np.array([[0.1, -1.0], [0.2, 0.0]])
+        path = tmp_path / "bad.csv"
+        np.savetxt(path, rows, delimiter=",")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "thin.csv"
+        np.savetxt(path, np.array([[1.0], [2.0]]), delimiter=",")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv(tmp_path / "none.csv")

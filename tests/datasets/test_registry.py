@@ -1,0 +1,55 @@
+import pytest
+
+from repro.datasets.registry import APPLICATIONS, application_names, load_application
+
+
+class TestRegistry:
+    def test_five_applications(self):
+        assert application_names() == ["speech", "activity", "physical", "face", "extra"]
+
+    def test_table_one_shapes(self):
+        # The (n, q, k) triplets of Table I, exactly.
+        expected = {
+            "speech": (617, 16, 26),
+            "activity": (561, 8, 6),
+            "physical": (52, 8, 12),
+            "face": (608, 16, 2),
+            "extra": (225, 16, 4),
+        }
+        for name, (n, q, k) in expected.items():
+            app = APPLICATIONS[name]
+            assert app.spec.n_features == n
+            assert app.paper_q == q
+            assert app.spec.n_classes == k
+
+    def test_paper_accuracies_recorded(self):
+        assert APPLICATIONS["speech"].paper_accuracy == pytest.approx(0.941)
+        assert APPLICATIONS["extra"].paper_accuracy == pytest.approx(0.706)
+
+    def test_load_application_generates_matching_shapes(self):
+        data = load_application("physical")
+        assert data.n_features == 52
+        assert data.n_classes == 12
+
+    def test_load_is_deterministic(self):
+        import numpy as np
+
+        a = load_application("face")
+        b = load_application("face")
+        assert np.array_equal(a.train_features, b.train_features)
+
+    def test_train_limit(self):
+        data = load_application("activity", train_limit=100)
+        assert data.n_train == 100
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_application("mnist")
+
+    def test_case_insensitive(self):
+        assert load_application("SPEECH").name == "speech"
+
+    def test_metadata_carries_paper_reference(self):
+        data = load_application("extra")
+        assert data.metadata["paper_dataset"].startswith("ExtraSensory")
+        assert data.metadata["paper_q"] == 16

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    make_correlated_class_vectors,
+    make_synthetic_classification,
+)
+
+
+class TestSyntheticSpec:
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_features=4, n_classes=2, informative_fraction=1.5)
+
+    def test_rejects_nonpositive_separation(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(n_features=4, n_classes=2, class_separation=0.0)
+
+
+class TestMakeSyntheticClassification:
+    def test_shapes(self):
+        spec = SyntheticSpec(n_features=10, n_classes=3, n_train=60, n_test=30)
+        data = make_synthetic_classification(spec)
+        assert data.train_features.shape == (60, 10)
+        assert data.test_features.shape == (30, 10)
+
+    def test_labels_in_range(self):
+        spec = SyntheticSpec(n_features=6, n_classes=4, n_train=80, n_test=40)
+        data = make_synthetic_classification(spec)
+        assert data.train_labels.min() >= 0
+        assert data.train_labels.max() < 4
+
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(n_features=6, n_classes=2, seed=13)
+        a = make_synthetic_classification(spec)
+        b = make_synthetic_classification(spec)
+        assert np.array_equal(a.train_features, b.train_features)
+        assert np.array_equal(a.test_labels, b.test_labels)
+
+    def test_skew_produces_positive_right_skewed_values(self):
+        spec = SyntheticSpec(n_features=20, n_classes=2, skew=0.8, seed=1)
+        data = make_synthetic_classification(spec)
+        values = data.train_features.ravel()
+        assert values.min() > 0
+        assert np.mean(values) > np.median(values)  # right skew
+
+    def test_zero_skew_keeps_gaussian_latent(self):
+        spec = SyntheticSpec(n_features=20, n_classes=2, skew=0.0, seed=2)
+        data = make_synthetic_classification(spec)
+        assert data.train_features.min() < 0  # not warped to positives
+
+    def test_separable_when_separation_high(self):
+        from repro.baselines.nearest_centroid import NearestCentroidClassifier
+
+        spec = SyntheticSpec(
+            n_features=30, n_classes=3, n_train=300, n_test=150,
+            class_separation=4.0, informative_fraction=0.8, seed=3,
+        )
+        data = make_synthetic_classification(spec)
+        clf = NearestCentroidClassifier().fit(data.train_features, data.train_labels)
+        assert clf.score(data.test_features, data.test_labels) > 0.95
+
+    def test_label_noise_caps_accuracy(self):
+        from repro.baselines.nearest_centroid import NearestCentroidClassifier
+
+        spec = SyntheticSpec(
+            n_features=30, n_classes=2, n_train=400, n_test=400,
+            class_separation=4.0, informative_fraction=0.8,
+            label_noise=0.4, seed=4,
+        )
+        data = make_synthetic_classification(spec)
+        clf = NearestCentroidClassifier().fit(data.train_features, data.train_labels)
+        accuracy = clf.score(data.test_features, data.test_labels)
+        # Ceiling = 1 - noise * (k-1)/k = 0.8.
+        assert accuracy < 0.88
+
+    def test_nuisance_features_near_constant(self):
+        spec = SyntheticSpec(
+            n_features=40, n_classes=3, class_separation=5.0,
+            informative_fraction=0.25, skew=0.0, seed=5,
+        )
+        data = make_synthetic_classification(spec)
+        informative = set(data.metadata["informative_features"].tolist())
+        nuisance = [i for i in range(40) if i not in informative]
+        nuisance_std = data.train_features[:, nuisance].std(axis=0).max()
+        informative_std = data.train_features[:, sorted(informative)].std(axis=0).mean()
+        assert nuisance_std < informative_std
+
+
+class TestCorrelatedClassVectors:
+    def test_shape(self):
+        out = make_correlated_class_vectors(6, 500, rng=0)
+        assert out.shape == (6, 500)
+
+    def test_target_correlation_achieved(self):
+        vectors = make_correlated_class_vectors(8, 20_000, correlation=0.9, rng=1)
+        normed = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        sims = normed @ normed.T
+        off_diag = sims[~np.eye(8, dtype=bool)]
+        assert off_diag.mean() == pytest.approx(0.9, abs=0.03)
+
+    def test_zero_correlation_near_orthogonal(self):
+        vectors = make_correlated_class_vectors(4, 20_000, correlation=0.0, rng=2)
+        normed = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        sims = normed @ normed.T
+        assert np.abs(sims[~np.eye(4, dtype=bool)]).max() < 0.05

@@ -1,0 +1,192 @@
+"""Smoke tests: every experiment driver runs and its headline shape holds.
+
+Accuracy-bearing experiments run on reduced budgets (small train sets, few
+dimensions) so the whole module stays fast; the full-budget numbers live
+in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig02_breakdown,
+    fig03_quantization_boundaries,
+    fig04_quantization_accuracy,
+    fig08_correlation,
+    fig09_retraining,
+    fig12_chunk_quant,
+    fig13_training_efficiency,
+    fig14_inference_retraining,
+    fig15_scalability,
+    fig16_resources,
+    table01_characteristics,
+    table02_dimensionality,
+    table03_gpu,
+    table04_mlp,
+)
+from repro.experiments.report import format_table
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        assert "T" in text
+        assert "2.500" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFig02:
+    def test_encoding_dominates_training(self):
+        rows = fig02_breakdown.run()
+        assert len(rows) == 5
+        for row in rows:
+            assert row.train_encoding_share > 0.6
+            assert row.train_encoding_share + row.train_update_share == pytest.approx(1.0)
+
+    def test_search_majority_of_inference(self):
+        rows = fig02_breakdown.run()
+        average = np.mean([r.infer_search_share for r in rows])
+        assert average > 0.5
+
+
+class TestTable01:
+    def test_rows_and_lookup_sizes(self):
+        rows = table01_characteristics.run(dim=512, retrain_iterations=1, train_limit=150)
+        assert len(rows) == 5
+        speech = next(r for r in rows if r.application == "speech")
+        assert round(speech.log2_lookup_rows) == 2468  # 617 * log2(16), Table I
+
+
+class TestFig03:
+    def test_equalized_balances_levels(self):
+        report = fig03_quantization_boundaries.run()
+        assert report.equalized_balance > 0.9
+        assert report.linear_balance < 0.1
+
+
+class TestFig04:
+    def test_equalized_beats_linear_at_low_q(self):
+        rows = fig04_quantization_accuracy.run(
+            level_grid=(2, 4), dim=512, retrain_iterations=1, train_limit=200
+        )
+        low_q = rows[0]
+        assert low_q.equalized_accuracy > low_q.linear_accuracy
+
+
+class TestFig08:
+    def test_decorrelation_widens_distribution(self):
+        report = fig08_correlation.run(dim=512, train_limit=200, n_queries=100)
+        assert report.decorrelated_spread > report.original_spread
+        assert report.original_mean > 0.5
+
+
+class TestFig09:
+    def test_curves_recorded(self):
+        curves = fig09_retraining.run(
+            applications=("activity",), iterations=3, dim=512, train_limit=150
+        )
+        assert len(curves) == 1
+        assert 1 <= len(curves[0].validation_accuracy) <= 3
+
+
+class TestFig12:
+    def test_grid_runs(self):
+        points = fig12_chunk_quant.run(
+            applications=("physical",),
+            chunk_grid=(2, 5),
+            level_grid=(2, 4),
+            dim=512,
+            retrain_iterations=1,
+            train_limit=150,
+        )
+        assert len(points) == 4
+        assert all(0 <= p.accuracy <= 1 for p in points)
+
+
+class TestTable02:
+    def test_accuracy_flat_in_dimension(self):
+        rows = table02_dimensionality.run(
+            dim_grid=(512, 1024),
+            retrain_iterations=1,
+            train_limit=150,
+            applications=("activity",),
+        )
+        accs = list(rows[0].accuracies.values())
+        assert abs(accs[0] - accs[1]) < 0.1
+
+
+class TestFig13:
+    def test_lookhd_always_wins_and_q2_beats_q4(self):
+        rows = fig13_training_efficiency.run(level_grid=(2, 4))
+        assert all(r.speedup > 1 for r in rows)
+        averages = fig13_training_efficiency.averages(rows)
+        for platform in ("fpga", "cpu"):
+            assert averages[(platform, 2)][0] > averages[(platform, 4)][0]
+
+
+class TestFig14:
+    def test_inference_and_retraining_win_on_average(self):
+        rows = fig14_inference_retraining.run()
+        averages = fig14_inference_retraining.averages(rows)
+        for key, (speed, energy) in averages.items():
+            assert speed > 1.0
+            assert energy > 1.0
+
+
+class TestTable03:
+    def test_structure_and_directions(self):
+        comparisons = table03_gpu.run(dims=(2_000,))
+        labels = [c.label for c in comparisons]
+        assert any("GPU" in label for label in labels)
+        gpu = next(c for c in comparisons if "GPU" in c.label)
+        look = next(c for c in comparisons if c.label.startswith("LookHD"))
+        # LookHD on FPGA beats the GPU on both speed and (vastly) energy.
+        assert look.train_speedup_vs_cpu > gpu.train_speedup_vs_cpu
+        assert look.infer_energy_vs_cpu > 10 * gpu.infer_energy_vs_cpu
+
+
+class TestFig15:
+    def test_lossless_below_twelve_then_degrades(self):
+        points = fig15_scalability.run(class_grid=(4, 12, 48), dim=2000, n_queries=300)
+        by_k = {p.n_classes: p for p in points}
+        assert by_k[4].compressed_accuracy >= by_k[4].exact_accuracy - 0.02
+        assert by_k[12].compressed_accuracy >= by_k[12].exact_accuracy - 0.03
+        assert by_k[48].noise_to_signal > by_k[4].noise_to_signal
+
+    def test_model_size_reduction_scales_with_k(self):
+        points = fig15_scalability.run(class_grid=(4, 24), dim=512, n_queries=50)
+        assert points[1].model_size_reduction > points[0].model_size_reduction
+
+
+class TestFig16:
+    def test_paper_bottlenecks(self):
+        rows = fig16_resources.run()
+        by_key = {(r.application, r.phase): r for r in rows}
+        assert by_key[("speech", "inference")].bottleneck == "dsp"
+        assert by_key[("speech", "training")].bottleneck == "fabric"
+        assert by_key[("face", "inference")].bottleneck == "fabric"
+        assert by_key[("face", "training")].bottleneck == "fabric"
+
+
+class TestTable04:
+    def test_lookhd_beats_mlp_everywhere(self):
+        rows = table04_mlp.run()
+        for row in rows:
+            assert row.train_speedup > 1
+            assert row.infer_speedup > 1
+            assert row.model_size_ratio > 1
+
+
+class TestMains:
+    """Every driver's main() renders without error."""
+
+    @pytest.mark.parametrize(
+        "module",
+        [fig02_breakdown, fig03_quantization_boundaries, fig13_training_efficiency,
+         fig14_inference_retraining, fig16_resources, table03_gpu, table04_mlp],
+    )
+    def test_model_mains(self, module):
+        assert isinstance(module.main(), str)

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.hdc.bitpacked import (
+    PackedAssociativeMemory,
+    hamming_matches,
+    pack_bipolar,
+    unpack_bipolar,
+    xor_bind,
+)
+from repro.hdc.ops import random_bipolar
+
+
+class TestPackUnpack:
+    def test_round_trip_exact_multiple_of_64(self):
+        vectors = random_bipolar((3, 128), rng=0)
+        assert np.array_equal(unpack_bipolar(pack_bipolar(vectors), 128), vectors)
+
+    def test_round_trip_with_padding(self):
+        vectors = random_bipolar((2, 100), rng=1)
+        assert np.array_equal(unpack_bipolar(pack_bipolar(vectors), 100), vectors)
+
+    def test_single_vector(self):
+        vector = random_bipolar(70, rng=2)
+        packed = pack_bipolar(vector)
+        assert packed.ndim == 1
+        assert np.array_equal(unpack_bipolar(packed, 70), vector)
+
+    def test_word_count(self):
+        assert pack_bipolar(random_bipolar(65, rng=3)).shape == (2,)
+        assert pack_bipolar(random_bipolar(64, rng=4)).shape == (1,)
+
+    def test_memory_reduction(self):
+        vectors = random_bipolar((4, 2048), rng=5)
+        assert vectors.nbytes / pack_bipolar(vectors).nbytes == 8.0  # int8 -> bits
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.array([1, 0, -1]))
+
+
+class TestXorBind:
+    def test_matches_elementwise_multiplication(self):
+        a = random_bipolar(96, rng=6)
+        b = random_bipolar(96, rng=7)
+        bound = xor_bind(pack_bipolar(a), pack_bipolar(b))
+        assert np.array_equal(unpack_bipolar(bound, 96), a * b)
+
+    def test_involution(self):
+        a = random_bipolar(128, rng=8)
+        key = pack_bipolar(random_bipolar(128, rng=9))
+        twice = xor_bind(xor_bind(pack_bipolar(a), key), key)
+        assert np.array_equal(unpack_bipolar(twice, 128), a)
+
+
+class TestHammingMatches:
+    def test_identical_vectors_full_match(self):
+        vector = random_bipolar(100, rng=10)
+        packed = pack_bipolar(vector)
+        assert hamming_matches(packed, packed, 100)[0, 0] == 100
+
+    def test_flipped_vector_zero_match(self):
+        vector = random_bipolar(100, rng=11)
+        assert hamming_matches(pack_bipolar(vector), pack_bipolar(-vector), 100)[0, 0] == 0
+
+    def test_matches_unpacked_computation(self):
+        a = random_bipolar((3, 77), rng=12)
+        b = random_bipolar((5, 77), rng=13)
+        packed = hamming_matches(pack_bipolar(a), pack_bipolar(b), 77)
+        direct = (a[:, np.newaxis, :] == b[np.newaxis, :, :]).sum(axis=2)
+        assert np.array_equal(packed, direct)
+
+    def test_padding_not_counted(self):
+        # Vectors differing only within real bits: padding must not add
+        # phantom matches beyond dim.
+        a = random_bipolar(65, rng=14)
+        matches = hamming_matches(pack_bipolar(a), pack_bipolar(a), 65)
+        assert matches[0, 0] == 65
+
+
+class TestPackedAssociativeMemory:
+    def test_classifies_like_dense_hamming(self, small_dataset):
+        from repro.hdc.classifier import BaselineHDClassifier
+
+        clf = BaselineHDClassifier(dim=512, levels=4)
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        memory = PackedAssociativeMemory(clf.model.class_vectors)
+        encoded = clf.encode(small_dataset.test_features[:40])
+        predictions = memory.predict(np.sign(encoded))
+        accuracy = np.mean(predictions == small_dataset.test_labels[:40])
+        assert accuracy > 0.6  # binary model: reduced but far above chance
+
+    def test_memory_footprint_one_bit_per_element(self):
+        rng = np.random.default_rng(15)
+        memory = PackedAssociativeMemory(rng.integers(-5, 6, size=(4, 128)))
+        assert memory.memory_bytes() == 4 * 128 // 8
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            PackedAssociativeMemory(np.ones(8))

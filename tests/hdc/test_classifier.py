@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from repro.hdc.classifier import BaselineHDClassifier
+from repro.quantization.equalized import EqualizedQuantizer
+
+
+class TestBaselineHDClassifier:
+    def test_learns_separable_data(self, small_dataset):
+        clf = BaselineHDClassifier(dim=512, levels=8)
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert clf.score(small_dataset.test_features, small_dataset.test_labels) > 0.8
+
+    def test_retraining_does_not_hurt(self, small_dataset):
+        plain = BaselineHDClassifier(dim=512, levels=8)
+        plain.fit(small_dataset.train_features, small_dataset.train_labels)
+        base_accuracy = plain.score(small_dataset.test_features, small_dataset.test_labels)
+        retrained = BaselineHDClassifier(dim=512, levels=8)
+        retrained.fit(
+            small_dataset.train_features, small_dataset.train_labels, retrain_iterations=5
+        )
+        accuracy = retrained.score(small_dataset.test_features, small_dataset.test_labels)
+        assert accuracy >= base_accuracy - 0.05
+
+    def test_report_counts_iterations(self, small_dataset):
+        clf = BaselineHDClassifier(dim=256, levels=4)
+        report = clf.fit(
+            small_dataset.train_features, small_dataset.train_labels, retrain_iterations=3
+        )
+        assert 1 <= report.iterations <= 3
+        assert len(report.updates_per_iteration) == report.iterations
+
+    def test_early_stop_on_clean_pass(self, small_dataset):
+        clf = BaselineHDClassifier(dim=1024, levels=8)
+        report = clf.fit(
+            small_dataset.train_features, small_dataset.train_labels, retrain_iterations=50
+        )
+        # A separable problem converges long before 50 passes.
+        assert report.iterations < 50
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            BaselineHDClassifier().predict(np.zeros(4))
+
+    def test_single_sample_predict(self, small_dataset):
+        clf = BaselineHDClassifier(dim=256, levels=4)
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        out = clf.predict(small_dataset.test_features[0])
+        assert isinstance(out, (int, np.integer))
+
+    def test_custom_quantizer(self, small_dataset):
+        clf = BaselineHDClassifier(dim=256, levels=4, quantizer=EqualizedQuantizer(4))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert clf.score(small_dataset.test_features, small_dataset.test_labels) > 0.7
+
+    def test_quantizer_level_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineHDClassifier(levels=8, quantizer=EqualizedQuantizer(4))
+
+    def test_misaligned_labels_rejected(self, small_dataset):
+        clf = BaselineHDClassifier(dim=128, levels=4)
+        with pytest.raises(ValueError):
+            clf.fit(small_dataset.train_features, small_dataset.train_labels[:-1])
+
+    def test_model_size_scales_with_classes(self, small_dataset):
+        clf = BaselineHDClassifier(dim=256, levels=4)
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert clf.model_size_bytes() == small_dataset.n_classes * 256 * 4
+
+    def test_deterministic_given_seed(self, small_dataset):
+        scores = []
+        for _ in range(2):
+            clf = BaselineHDClassifier(dim=256, levels=4, seed=11)
+            clf.fit(small_dataset.train_features, small_dataset.train_labels)
+            scores.append(clf.score(small_dataset.test_features, small_dataset.test_labels))
+        assert scores[0] == scores[1]
+
+    def test_validation_curve_recorded(self, small_dataset):
+        clf = BaselineHDClassifier(dim=256, levels=4)
+        report = clf.fit(
+            small_dataset.train_features,
+            small_dataset.train_labels,
+            retrain_iterations=2,
+            validation=(small_dataset.test_features, small_dataset.test_labels),
+        )
+        assert len(report.accuracy_per_iteration) == report.iterations

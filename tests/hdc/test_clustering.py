@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+
+from repro.hdc.clustering import ClusteringResult, cluster_purity, hd_kmeans
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+@pytest.fixture(scope="module")
+def encoded_dataset(request):
+    # Encode the shared small_dataset with a LookHD encoder once.
+    small = request.getfixturevalue("small_dataset")
+    clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=3))
+    clf.fit(small.train_features[:20], small.train_labels[:20])  # fit the encoder
+    encoded = clf.encoder.encode_many(small.train_features)
+    return encoded, small.train_labels
+
+
+class TestHdKmeans:
+    def test_recovers_class_structure(self, encoded_dataset):
+        encoded, labels = encoded_dataset
+        result = hd_kmeans(encoded, n_clusters=4, rng=0)
+        assert cluster_purity(result.assignments, labels) > 0.8
+
+    def test_assignments_shape_and_range(self, encoded_dataset):
+        encoded, _ = encoded_dataset
+        result = hd_kmeans(encoded, n_clusters=3, rng=1)
+        assert result.assignments.shape == (encoded.shape[0],)
+        assert set(np.unique(result.assignments)) <= {0, 1, 2}
+
+    def test_centroids_unit_norm(self, encoded_dataset):
+        encoded, _ = encoded_dataset
+        result = hd_kmeans(encoded, n_clusters=4, rng=2)
+        assert np.allclose(np.linalg.norm(result.centroids, axis=1), 1.0)
+
+    def test_inertia_non_decreasing(self, encoded_dataset):
+        encoded, _ = encoded_dataset
+        result = hd_kmeans(encoded, n_clusters=4, rng=3)
+        history = np.array(result.inertia_history)
+        assert np.all(np.diff(history) >= -1e-6)
+
+    def test_converges_on_easy_data(self, encoded_dataset):
+        encoded, _ = encoded_dataset
+        result = hd_kmeans(encoded, n_clusters=4, max_iterations=50, rng=4)
+        assert result.converged
+        assert isinstance(result, ClusteringResult)
+
+    def test_k_greater_than_n_rejected(self):
+        with pytest.raises(ValueError):
+            hd_kmeans(np.ones((3, 8)), n_clusters=5)
+
+    def test_deterministic_given_seed(self, encoded_dataset):
+        encoded, _ = encoded_dataset
+        a = hd_kmeans(encoded, n_clusters=4, rng=9)
+        b = hd_kmeans(encoded, n_clusters=4, rng=9)
+        assert np.array_equal(a.assignments, b.assignments)
+
+
+class TestClusterPurity:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_purity(np.array([5, 5, 9, 9]), labels) == 1.0
+
+    def test_random_clustering_low(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 4, size=400)
+        assignments = rng.integers(0, 4, size=400)
+        assert cluster_purity(assignments, labels) < 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_purity(np.zeros(3, dtype=int), np.zeros(4, dtype=int))

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.hdc.encoder import RecordEncoder
+from repro.hdc.item_memory import LevelItemMemory
+from repro.quantization.equalized import EqualizedQuantizer
+from repro.quantization.linear import LinearQuantizer
+
+
+def make_encoder(n_features=8, levels=4, dim=256, seed=0):
+    quantizer = LinearQuantizer(levels).fit(np.linspace(0, 1, 100))
+    memory = LevelItemMemory(levels, dim, rng=seed)
+    return RecordEncoder(quantizer, memory, n_features)
+
+
+class TestRecordEncoder:
+    def test_single_sample_shape(self):
+        encoder = make_encoder()
+        out = encoder.encode(np.linspace(0, 1, 8))
+        assert out.shape == (256,)
+
+    def test_batch_shape(self):
+        encoder = make_encoder()
+        out = encoder.encode(np.random.default_rng(0).random((5, 8)))
+        assert out.shape == (5, 256)
+
+    def test_matches_manual_equation_one(self):
+        # H = L(f_1) + rho L(f_2) + ... + rho^(n-1) L(f_n), bit-exact.
+        encoder = make_encoder(n_features=4)
+        sample = np.array([0.0, 0.3, 0.6, 0.99])
+        levels = encoder.quantizer.transform(sample)
+        expected = np.zeros(256, dtype=np.int64)
+        for i, level in enumerate(levels):
+            expected += np.roll(encoder.item_memory[int(level)], i).astype(np.int64)
+        assert np.array_equal(encoder.encode(sample), expected)
+
+    def test_feature_order_matters(self):
+        encoder = make_encoder(n_features=3)
+        a = encoder.encode(np.array([0.0, 0.5, 1.0]))
+        b = encoder.encode(np.array([1.0, 0.5, 0.0]))
+        assert not np.array_equal(a, b)
+
+    def test_same_input_same_output(self):
+        encoder = make_encoder()
+        sample = np.random.default_rng(1).random(8)
+        assert np.array_equal(encoder.encode(sample), encoder.encode(sample))
+
+    def test_wrong_width_rejected(self):
+        encoder = make_encoder(n_features=8)
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros(9))
+
+    def test_level_count_mismatch_rejected(self):
+        quantizer = LinearQuantizer(4).fit(np.linspace(0, 1, 10))
+        memory = LevelItemMemory(8, 64, rng=0)
+        with pytest.raises(ValueError):
+            RecordEncoder(quantizer, memory, 4)
+
+    def test_encode_many_matches_encode(self):
+        encoder = make_encoder()
+        batch = np.random.default_rng(2).random((20, 8))
+        assert np.array_equal(
+            encoder.encode_many(batch, batch_size=7), encoder.encode(batch)
+        )
+
+    def test_similar_inputs_encode_similarly(self):
+        encoder = make_encoder(n_features=32, dim=2048)
+        base = np.full(32, 0.3)
+        nearby = base.copy()
+        nearby[0] = 0.32
+        far = np.full(32, 0.9)
+        enc = encoder.encode(np.stack([base, nearby, far])).astype(float)
+        sim_near = enc[0] @ enc[1] / (np.linalg.norm(enc[0]) * np.linalg.norm(enc[1]))
+        sim_far = enc[0] @ enc[2] / (np.linalg.norm(enc[0]) * np.linalg.norm(enc[2]))
+        assert sim_near > sim_far
+
+    def test_works_with_equalized_quantizer(self):
+        quantizer = EqualizedQuantizer(4).fit(np.random.default_rng(3).random(500))
+        memory = LevelItemMemory(4, 128, rng=1)
+        encoder = RecordEncoder(quantizer, memory, 6)
+        assert encoder.encode(np.random.default_rng(4).random(6)).shape == (128,)

@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.hdc.item_memory import LevelItemMemory, RandomItemMemory
+
+
+class TestRandomItemMemory:
+    def test_shape(self):
+        memory = RandomItemMemory(8, 512, rng=0)
+        assert memory.vectors.shape == (8, 512)
+
+    def test_values_bipolar(self):
+        memory = RandomItemMemory(4, 256, rng=1)
+        assert set(np.unique(memory.vectors)) <= {-1, 1}
+
+    def test_deterministic(self):
+        a = RandomItemMemory(4, 128, rng=7)
+        b = RandomItemMemory(4, 128, rng=7)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_pairwise_near_orthogonal(self):
+        memory = RandomItemMemory(6, 10_000, rng=2)
+        sims = memory.cross_similarity()
+        off_diagonal = sims[~np.eye(6, dtype=bool)]
+        assert np.abs(off_diagonal).max() < 0.06
+
+    def test_indexing_with_array(self):
+        memory = RandomItemMemory(5, 64, rng=3)
+        out = memory[np.array([0, 0, 2])]
+        assert out.shape == (3, 64)
+        assert np.array_equal(out[0], out[1])
+
+    def test_len(self):
+        assert len(RandomItemMemory(9, 32, rng=0)) == 9
+
+
+class TestLevelItemMemory:
+    def test_neighbours_are_similar(self):
+        memory = LevelItemMemory(8, 10_000, rng=0)
+        assert np.all(memory.neighbour_similarity() > 0.7)
+
+    def test_endpoints_nearly_orthogonal(self):
+        memory = LevelItemMemory(8, 10_000, rng=1)
+        assert abs(memory.endpoint_similarity()) < 0.35
+
+    def test_similarity_decays_with_distance(self):
+        # The distance-preserving alphabet property of Sec. II-A: similarity
+        # between L_1 and L_i falls monotonically (modulo noise) with i.
+        memory = LevelItemMemory(8, 10_000, rng=2)
+        first = memory[0].astype(float)
+        sims = [
+            float(first @ memory[i].astype(float)) / 10_000 for i in range(8)
+        ]
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[1] > sims[4] > sims[7]
+
+    def test_single_level(self):
+        memory = LevelItemMemory(1, 128, rng=3)
+        assert memory.vectors.shape == (1, 128)
+        assert memory.neighbour_similarity().size == 0
+
+    def test_deterministic(self):
+        a = LevelItemMemory(4, 256, rng=9)
+        b = LevelItemMemory(4, 256, rng=9)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_values_bipolar(self):
+        memory = LevelItemMemory(4, 512, rng=4)
+        assert set(np.unique(memory.vectors)) <= {-1, 1}
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LevelItemMemory(0, 128)
+        with pytest.raises(ValueError):
+            LevelItemMemory(4, 0)

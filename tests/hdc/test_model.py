@@ -1,0 +1,92 @@
+import numpy as np
+import pytest
+
+from repro.hdc.model import ClassModel
+
+
+class TestClassModel:
+    def test_starts_at_zero(self):
+        model = ClassModel(3, 16)
+        assert np.all(model.class_vectors == 0)
+
+    def test_accumulate(self):
+        model = ClassModel(2, 4)
+        model.accumulate(0, np.array([1, -1, 1, -1]))
+        model.accumulate(0, np.array([1, 1, 1, 1]))
+        assert model.class_vectors[0].tolist() == [2, 0, 2, 0]
+        assert np.all(model.class_vectors[1] == 0)
+
+    def test_accumulate_batch_matches_loop(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.integers(-5, 5, size=(30, 8))
+        labels = rng.integers(0, 3, size=30)
+        batched = ClassModel(3, 8)
+        batched.accumulate_batch(labels, vectors)
+        looped = ClassModel(3, 8)
+        for label, vec in zip(labels, vectors):
+            looped.accumulate(int(label), vec)
+        assert np.array_equal(batched.class_vectors, looped.class_vectors)
+
+    def test_accumulate_batch_repeated_labels(self):
+        # np.add.at semantics: duplicates must all land.
+        model = ClassModel(2, 2)
+        model.accumulate_batch(np.array([0, 0, 0]), np.ones((3, 2), dtype=int))
+        assert model.class_vectors[0].tolist() == [3, 3]
+
+    def test_retrain_update(self):
+        model = ClassModel(2, 3)
+        model.retrain_update(0, 1, np.array([1, 2, 3]))
+        assert model.class_vectors[0].tolist() == [1, 2, 3]
+        assert model.class_vectors[1].tolist() == [-1, -2, -3]
+
+    def test_class_index_bounds(self):
+        model = ClassModel(2, 3)
+        with pytest.raises(ValueError):
+            model.accumulate(2, np.zeros(3))
+        with pytest.raises(ValueError):
+            model.retrain_update(0, 5, np.zeros(3))
+
+    def test_predict_nearest_class(self):
+        model = ClassModel(2, 4)
+        model.accumulate(0, np.array([10, 0, 0, 0]))
+        model.accumulate(1, np.array([0, 10, 0, 0]))
+        assert model.predict(np.array([5, 1, 0, 0])) == 0
+        assert model.predict(np.array([1, 5, 0, 0])) == 1
+
+    def test_predict_batch(self):
+        model = ClassModel(2, 2)
+        model.accumulate(0, np.array([1, 0]))
+        model.accumulate(1, np.array([0, 1]))
+        out = model.predict(np.array([[3, 1], [1, 3]]))
+        assert out.tolist() == [0, 1]
+
+    def test_normalized_cache_invalidated_on_update(self):
+        model = ClassModel(2, 2)
+        model.accumulate(0, np.array([1, 0]))
+        first = model.normalized.copy()
+        model.accumulate(0, np.array([0, 10]))
+        assert not np.array_equal(first, model.normalized)
+
+    def test_scores_rank_like_cosine(self):
+        rng = np.random.default_rng(1)
+        model = ClassModel(4, 32)
+        model.accumulate_batch(
+            np.arange(4), rng.integers(-10, 10, size=(4, 32))
+        )
+        query = rng.normal(size=32)
+        scores = model.scores(query)
+        cosines = [
+            float(query @ c / (np.linalg.norm(query) * np.linalg.norm(c)))
+            for c in model.class_vectors.astype(float)
+        ]
+        assert int(np.argmax(scores)) == int(np.argmax(cosines))
+
+    def test_model_size(self):
+        model = ClassModel(6, 2000)
+        assert model.model_size_bytes(4) == 6 * 2000 * 4
+
+    def test_copy_is_independent(self):
+        model = ClassModel(2, 2)
+        clone = model.copy()
+        model.accumulate(0, np.array([1, 1]))
+        assert np.all(clone.class_vectors == 0)

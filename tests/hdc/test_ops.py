@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.hdc.ops import (
+    ACCUM_DTYPE,
+    BIPOLAR_DTYPE,
+    bind,
+    bundle,
+    permute,
+    random_bipolar,
+    sign_quantize,
+    stack_permutations,
+)
+
+
+class TestRandomBipolar:
+    def test_values_are_bipolar(self):
+        vec = random_bipolar(1000, rng=0)
+        assert set(np.unique(vec)) <= {-1, 1}
+
+    def test_dtype(self):
+        assert random_bipolar(10, rng=0).dtype == BIPOLAR_DTYPE
+
+    def test_shape_tuple(self):
+        assert random_bipolar((3, 7), rng=0).shape == (3, 7)
+
+    def test_deterministic(self):
+        assert np.array_equal(random_bipolar(64, rng=5), random_bipolar(64, rng=5))
+
+    def test_roughly_balanced(self):
+        vec = random_bipolar(10_000, rng=1).astype(int)
+        assert abs(vec.sum()) < 400
+
+    def test_near_orthogonality(self):
+        a = random_bipolar(10_000, rng=2).astype(float)
+        b = random_bipolar(10_000, rng=3).astype(float)
+        cosine = (a @ b) / 10_000
+        assert abs(cosine) < 0.05
+
+
+class TestBind:
+    def test_involution(self):
+        x = random_bipolar(256, rng=0)
+        key = random_bipolar(256, rng=1)
+        assert np.array_equal(bind(bind(x, key), key), x)
+
+    def test_self_bind_is_ones(self):
+        key = random_bipolar(128, rng=2)
+        assert np.all(bind(key, key) == 1)
+
+    def test_broadcasts(self):
+        batch = random_bipolar((4, 64), rng=3)
+        key = random_bipolar(64, rng=4)
+        assert bind(batch, key).shape == (4, 64)
+
+    def test_bound_vector_is_dissimilar(self):
+        x = random_bipolar(10_000, rng=5).astype(float)
+        key = random_bipolar(10_000, rng=6)
+        cosine = (x @ bind(x, key).astype(float)) / 10_000
+        assert abs(cosine) < 0.05
+
+
+class TestBundle:
+    def test_elementwise_sum(self):
+        vectors = np.array([[1, -1], [1, 1], [-1, 1]], dtype=np.int8)
+        assert bundle(vectors).tolist() == [1, 1]
+
+    def test_accumulator_dtype_avoids_overflow(self):
+        vectors = np.full((300, 4), 127, dtype=np.int8)
+        out = bundle(vectors)
+        assert out.dtype == ACCUM_DTYPE
+        assert out[0] == 300 * 127
+
+    def test_bundle_is_similar_to_members(self):
+        members = random_bipolar((5, 10_000), rng=7).astype(float)
+        bundled = bundle(members).astype(float)
+        cosine = (bundled @ members[0]) / (
+            np.linalg.norm(bundled) * np.linalg.norm(members[0])
+        )
+        assert cosine > 0.3
+
+
+class TestPermute:
+    def test_inverse(self):
+        x = random_bipolar(97, rng=8)
+        assert np.array_equal(permute(permute(x, 13), -13), x)
+
+    def test_zero_shift_is_identity(self):
+        x = random_bipolar(32, rng=9)
+        assert np.array_equal(permute(x, 0), x)
+
+    def test_shift_wraps(self):
+        x = np.arange(5)
+        assert permute(x, 1).tolist() == [4, 0, 1, 2, 3]
+
+    def test_batch_permutes_last_axis(self):
+        batch = np.arange(10).reshape(2, 5)
+        out = permute(batch, 1)
+        assert out[0].tolist() == [4, 0, 1, 2, 3]
+
+    def test_permuted_vector_nearly_orthogonal(self):
+        x = random_bipolar(10_000, rng=10).astype(float)
+        cosine = (x @ permute(x, 1).astype(float)) / 10_000
+        assert abs(cosine) < 0.05
+
+
+class TestSignQuantize:
+    def test_signs(self):
+        out = sign_quantize(np.array([5, -3, 2]))
+        assert out.tolist() == [1, -1, 1]
+
+    def test_zeros_become_bipolar(self):
+        out = sign_quantize(np.array([0, 0, 0, 0]), rng=0)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_zero_tiebreak_deterministic(self):
+        a = sign_quantize(np.zeros(64, dtype=int), rng=4)
+        b = sign_quantize(np.zeros(64, dtype=int), rng=4)
+        assert np.array_equal(a, b)
+
+
+class TestStackPermutations:
+    def test_rows_are_successive_shifts(self):
+        x = np.arange(6)
+        stacked = stack_permutations(x, 3)
+        assert np.array_equal(stacked[0], x)
+        assert np.array_equal(stacked[2], np.roll(x, 2))
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            stack_permutations(np.arange(4), 0)

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+
+from repro.hdc.ops import random_bipolar
+from repro.hdc.similarity import (
+    cosine_similarity,
+    dot_similarity,
+    hamming_similarity,
+    normalize_rows,
+)
+
+
+class TestDotSimilarity:
+    def test_scalar_for_two_vectors(self):
+        assert dot_similarity(np.array([1, 2]), np.array([3, 4])) == 11.0
+
+    def test_vector_against_matrix(self):
+        keys = np.eye(3)
+        out = dot_similarity(np.array([1.0, 2.0, 3.0]), keys)
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_batch_shape(self):
+        out = dot_similarity(np.ones((4, 8)), np.ones((3, 8)))
+        assert out.shape == (4, 3)
+
+    def test_matrix_against_vector(self):
+        out = dot_similarity(np.ones((4, 8)), np.ones(8))
+        assert out.shape == (4,)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self):
+        x = np.array([1.0, -2.0])
+        assert cosine_similarity(x, -x) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_scale_invariance(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([2.0, 1.0, 0.5])
+        assert cosine_similarity(x, y) == pytest.approx(cosine_similarity(3 * x, 7 * y))
+
+    def test_zero_vector_gives_zero_not_nan(self):
+        out = cosine_similarity(np.zeros(4), np.ones(4))
+        assert out == 0.0
+
+    def test_batch_shape(self):
+        out = cosine_similarity(np.ones((2, 8)), np.ones((5, 8)))
+        assert out.shape == (2, 5)
+
+    def test_ranks_match_dot_after_normalisation(self):
+        rng = np.random.default_rng(0)
+        queries = rng.normal(size=(10, 64))
+        keys = rng.normal(size=(6, 64))
+        cos_rank = np.argmax(cosine_similarity(queries, keys), axis=1)
+        dot_rank = np.argmax(dot_similarity(queries, normalize_rows(keys)), axis=1)
+        assert np.array_equal(cos_rank, dot_rank)
+
+
+class TestHammingSimilarity:
+    def test_identical(self):
+        x = random_bipolar(128, rng=0)
+        assert hamming_similarity(x, x) == 1.0
+
+    def test_flipped(self):
+        x = random_bipolar(128, rng=1)
+        assert hamming_similarity(x, -x) == 0.0
+
+    def test_random_pairs_near_half(self):
+        a = random_bipolar(10_000, rng=2)
+        b = random_bipolar(10_000, rng=3)
+        assert hamming_similarity(a, b) == pytest.approx(0.5, abs=0.05)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            hamming_similarity(np.ones(4), np.ones(5))
+
+    def test_batch_shape(self):
+        out = hamming_similarity(random_bipolar((3, 32), rng=4), random_bipolar((2, 32), rng=5))
+        assert out.shape == (3, 2)
+
+
+class TestNormalizeRows:
+    def test_unit_norms(self):
+        rng = np.random.default_rng(0)
+        out = normalize_rows(rng.normal(size=(5, 16)))
+        assert np.allclose(np.linalg.norm(out, axis=1), 1.0)
+
+    def test_zero_rows_preserved(self):
+        matrix = np.zeros((2, 4))
+        assert np.all(normalize_rows(matrix) == 0)
+
+    def test_single_vector(self):
+        out = normalize_rows(np.array([3.0, 4.0]))
+        assert out.tolist() == [0.6, 0.8]

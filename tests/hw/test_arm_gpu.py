@@ -1,0 +1,58 @@
+import pytest
+
+from repro.hw.arm import ArmCortexA53
+from repro.hw.gpu import Gtx1080
+from repro.hw.opcounts import OpCounts, WorkloadShape, baseline_training_ops
+
+
+class TestArmCortexA53:
+    def test_narrow_adds_faster_than_wide(self):
+        arm = ArmCortexA53()
+        narrow = arm.run(OpCounts(adds=1e7, add_bits=8))
+        wide = arm.run(OpCounts(adds=1e7, add_bits=32))
+        assert narrow.seconds < wide.seconds
+
+    def test_random_accesses_expensive(self):
+        arm = ArmCortexA53()
+        streaming = arm.run(OpCounts(reads=1e6, mem_bits=16))
+        random = arm.run(OpCounts(random_accesses=1e6))
+        assert random.seconds > 5 * streaming.seconds
+
+    def test_scalar_float_path_slow(self):
+        arm = ArmCortexA53()
+        vectorised = arm.run(OpCounts(mults=1e6, adds=1e6, mult_bits=32))
+        scalar = arm.run(OpCounts(mults=1e6, adds=1e6, mult_bits=64))
+        assert scalar.seconds > 2 * vectorised.seconds
+
+    def test_power_in_sane_envelope(self):
+        arm = ArmCortexA53()
+        result = arm.run(OpCounts(adds=1e9, reads=1e8))
+        assert 0.1 < result.watts < 3.0  # A53-cluster territory
+
+
+class TestGtx1080:
+    def test_launch_overhead_dominates_tiny_kernels(self):
+        gpu = Gtx1080()
+        tiny = gpu.run(OpCounts(adds=1000))
+        assert tiny.seconds >= 25e-6
+
+    def test_high_power(self):
+        gpu = Gtx1080()
+        result = gpu.run(OpCounts(mults=1e11, adds=1e11))
+        assert result.watts > 100
+
+    def test_throughput_beats_arm_on_bulk_compute(self):
+        gpu, arm = Gtx1080(), ArmCortexA53()
+        ops = baseline_training_ops(
+            WorkloadShape(600, 20, dim=2000, levels=16), 10_000
+        )
+        assert gpu.run(ops).seconds < arm.run(ops).seconds
+
+    def test_arm_wins_on_per_query_inference_energy(self):
+        # Table III: per-query the GPU's launch overhead and board power
+        # make it the least energy-efficient platform.
+        from repro.hw.scenarios import baseline_inference
+
+        gpu, arm = Gtx1080(), ArmCortexA53()
+        shape = WorkloadShape(617, 26, dim=2000, levels=16)
+        assert baseline_inference(arm, shape).joules < baseline_inference(gpu, shape).joules

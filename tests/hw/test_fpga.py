@@ -1,0 +1,102 @@
+import pytest
+
+from repro.hw.fpga import FpgaResources, KintexFpga
+from repro.hw.opcounts import (
+    OpCounts,
+    WorkloadShape,
+    baseline_search_ops,
+    lookhd_encoding_ops,
+    lookhd_search_ops,
+)
+
+SPEECH = WorkloadShape(617, 26, dim=2000, levels=4, chunk_size=5)
+FACE = WorkloadShape(608, 2, dim=2000, levels=2, chunk_size=5)
+
+
+class TestDeviceBudget:
+    def test_kc705_defaults(self):
+        device = FpgaResources()
+        assert device.luts == 203_800
+        assert device.dsp_slices == 840
+        assert device.bram_bytes == 445 * 36 * 1024 // 8
+
+    def test_lane_counts_scale_with_width(self):
+        fpga = KintexFpga()
+        assert fpga.add_lanes(8) == pytest.approx(2 * fpga.add_lanes(16), rel=0.01)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            KintexFpga(datapath_lut_fraction=0.0)
+
+
+class TestBramFit:
+    def test_small_table_fits(self):
+        fpga = KintexFpga()
+        assert fpga.table_fits_in_bram(WorkloadShape(100, 2, dim=2000, levels=2, chunk_size=5))
+
+    def test_huge_table_does_not_fit(self):
+        fpga = KintexFpga()
+        big = WorkloadShape(100, 2, dim=2000, levels=16, chunk_size=5)  # 16^5 rows
+        assert not fpga.table_fits_in_bram(big)
+
+
+class TestSearchWindow:
+    def test_more_classes_narrower_window(self):
+        fpga = KintexFpga()
+        assert fpga.search_window(SPEECH) < fpga.search_window(FACE)
+
+    def test_window_positive(self):
+        fpga = KintexFpga()
+        assert fpga.search_window(WorkloadShape(10, 48, group_size=48)) >= 1
+
+
+class TestDemandRouting:
+    def test_wide_mults_go_to_dsp(self):
+        fpga = KintexFpga()
+        demand = fpga.demand(OpCounts(mults=100, mult_bits=32))
+        assert demand["dsp"] == 100
+
+    def test_narrow_mults_go_to_fabric(self):
+        fpga = KintexFpga()
+        demand = fpga.demand(OpCounts(mults=100, mult_bits=4))
+        assert demand["dsp"] == 0
+        assert demand["fabric"] > 0
+
+    def test_dsp_adds_routed_to_dsp(self):
+        fpga = KintexFpga()
+        demand = fpga.demand(OpCounts(dsp_adds=50))
+        assert demand["dsp"] == 50
+
+    def test_narrow_memory_cheaper(self):
+        fpga = KintexFpga()
+        wide = fpga.demand(OpCounts(onchip_reads=100, onchip_bits=32))["bram"]
+        narrow = fpga.demand(OpCounts(onchip_reads=100, onchip_bits=1))["bram"]
+        assert narrow < wide / 8
+
+
+class TestUtilizationReport:
+    def test_fractions_normalised(self):
+        fpga = KintexFpga()
+        report = fpga.utilization_report(lookhd_encoding_ops(SPEECH))
+        assert max(report.values()) == pytest.approx(1.0)
+        assert all(0 <= v <= 1 for v in report.values())
+
+    def test_speech_inference_dsp_limited(self):
+        # The Fig. 16 finding: many classes saturate the DSPs.
+        fpga = KintexFpga()
+        report = fpga.utilization_report(
+            [lookhd_encoding_ops(SPEECH), lookhd_search_ops(SPEECH)]
+        )
+        assert report["dsp"] == pytest.approx(1.0)
+
+    def test_face_inference_fabric_limited(self):
+        fpga = KintexFpga()
+        report = fpga.utilization_report(
+            [lookhd_encoding_ops(FACE), lookhd_search_ops(FACE)]
+        )
+        assert report["fabric"] == pytest.approx(1.0)
+
+    def test_baseline_search_needs_dsps(self):
+        fpga = KintexFpga()
+        report = fpga.utilization_report(baseline_search_ops(SPEECH))
+        assert report["dsp"] == pytest.approx(1.0)

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.hw.mlp_accel import MlpAcceleratorModel, MlpShape
+
+
+class TestMlpShape:
+    def test_macs_per_inference(self):
+        shape = MlpShape(n_inputs=10, hidden_units=20, n_outputs=5)
+        assert shape.macs_per_inference == 20 * 15
+
+    def test_parameter_count(self):
+        shape = MlpShape(10, 20, 5)
+        assert shape.parameters == 10 * 20 + 20 + 20 * 5 + 5
+
+    def test_rejects_zero_layer(self):
+        with pytest.raises(ValueError):
+            MlpShape(0, 10, 2)
+
+
+class TestMlpAcceleratorModel:
+    def test_training_scales_with_epochs(self):
+        accel = MlpAcceleratorModel()
+        shape = MlpShape(100, 64, 10)
+        ten = accel.training(shape, 1000, 10)
+        twenty = accel.training(shape, 1000, 20)
+        assert twenty.seconds == pytest.approx(2 * ten.seconds, rel=0.05)
+
+    def test_training_costlier_than_inference(self):
+        accel = MlpAcceleratorModel()
+        shape = MlpShape(100, 64, 10)
+        assert accel.training(shape, 1, 1).seconds > accel.inference(shape).seconds
+
+    def test_bigger_network_slower(self):
+        accel = MlpAcceleratorModel()
+        small = accel.inference(MlpShape(100, 32, 10))
+        large = accel.inference(MlpShape(100, 512, 10))
+        assert large.seconds > small.seconds
+
+    def test_rejects_bad_training_args(self):
+        accel = MlpAcceleratorModel()
+        with pytest.raises(ValueError):
+            accel.training(MlpShape(10, 10, 2), 0, 5)

@@ -1,0 +1,141 @@
+import pytest
+
+from repro.hw.opcounts import (
+    OpCounts,
+    WorkloadShape,
+    baseline_encoding_ops,
+    baseline_full_cosine_search_ops,
+    baseline_inference_ops,
+    baseline_retraining_ops,
+    baseline_search_ops,
+    baseline_training_ops,
+    encoding_fraction,
+    lookhd_encoding_ops,
+    lookhd_inference_ops,
+    lookhd_search_ops,
+    lookhd_training_ops,
+    quantization_ops,
+)
+
+SHAPE = WorkloadShape(n_features=100, n_classes=10, dim=1000, levels=4, chunk_size=5)
+
+
+class TestOpCounts:
+    def test_add_sums_counts(self):
+        total = OpCounts(adds=3, reads=2) + OpCounts(adds=4, writes=5)
+        assert total.adds == 7
+        assert total.reads == 2
+        assert total.writes == 5
+
+    def test_scaled(self):
+        out = OpCounts(adds=3, mults=2).scaled(10)
+        assert out.adds == 30
+        assert out.mults == 20
+
+    def test_zero_op_component_does_not_poison_widths(self):
+        narrow = OpCounts(adds=10, add_bits=8)
+        reads_only = OpCounts(onchip_reads=5, add_bits=64)
+        assert (narrow + reads_only).add_bits == 8
+
+    def test_mem_bits_traffic_weighted(self):
+        light = OpCounts(reads=90, mem_bits=1)
+        heavy = OpCounts(reads=10, mem_bits=32)
+        merged = light + heavy
+        assert 1 <= merged.mem_bits <= 8
+
+    def test_totals(self):
+        ops = OpCounts(adds=1, dsp_adds=2, mults=3, compares=4, reads=5, onchip_reads=6)
+        assert ops.total_arithmetic == 10
+        assert ops.total_memory == 11
+
+
+class TestWorkloadShape:
+    def test_chunk_count(self):
+        assert SHAPE.n_chunks == 20
+        assert WorkloadShape(22, 2, chunk_size=5).n_chunks == 5
+
+    def test_table_rows(self):
+        assert SHAPE.table_rows == 4**5
+
+    def test_groups_default_exact_mode(self):
+        assert WorkloadShape(10, 26).n_groups == 3
+        assert WorkloadShape(10, 6).n_groups == 1
+
+    def test_groups_single_hypervector(self):
+        assert WorkloadShape(10, 26, group_size=26).n_groups == 1
+
+
+class TestPhaseCounts:
+    def test_baseline_encoding_scales_with_n_and_d(self):
+        small = baseline_encoding_ops(WorkloadShape(50, 2, dim=500))
+        large = baseline_encoding_ops(WorkloadShape(100, 2, dim=1000))
+        assert large.adds == pytest.approx(4 * small.adds, rel=0.1)
+
+    def test_lookhd_encoding_much_cheaper(self):
+        base = baseline_encoding_ops(SHAPE)
+        look = lookhd_encoding_ops(SHAPE)
+        # m = n/r chunks -> roughly r-fold fewer D-wide accumulations.
+        assert look.adds < base.adds
+
+    def test_baseline_search_mults_scale_with_k(self):
+        few = baseline_search_ops(WorkloadShape(10, 2, dim=1000))
+        many = baseline_search_ops(WorkloadShape(10, 20, dim=1000))
+        assert many.mults == 10 * few.mults
+
+    def test_compressed_search_mults_scale_with_groups_not_k(self):
+        few = lookhd_search_ops(WorkloadShape(10, 2, dim=1000, group_size=None))
+        many = lookhd_search_ops(WorkloadShape(10, 12, dim=1000, group_size=None))
+        assert many.mults == few.mults  # one group each
+
+    def test_lookhd_search_fewer_mults_than_baseline(self):
+        base = baseline_search_ops(SHAPE)
+        look = lookhd_search_ops(SHAPE)
+        assert look.mults < base.mults
+
+    def test_training_scales_with_samples(self):
+        one = baseline_training_ops(SHAPE, 100)
+        two = baseline_training_ops(SHAPE, 200)
+        assert two.adds == pytest.approx(2 * one.adds)
+
+    def test_lookhd_training_far_fewer_ops(self):
+        base = baseline_training_ops(SHAPE, 5000)
+        look = lookhd_training_ops(SHAPE, 5000)
+        assert look.total_arithmetic < 0.5 * base.total_arithmetic
+
+    def test_lookhd_training_nnz_saturates(self):
+        # Doubling the training set must not double materialisation once
+        # counters saturate (dedup is the point of counting).
+        small = lookhd_training_ops(SHAPE, 50_000)
+        large = lookhd_training_ops(SHAPE, 100_000)
+        assert large.mults < 1.5 * small.mults
+
+    def test_retraining_update_costs_included(self):
+        none = baseline_retraining_ops(SHAPE, 1000, 0)
+        some = baseline_retraining_ops(SHAPE, 1000, 100)
+        assert some.adds > none.adds
+
+    def test_encoding_fraction_dominates_baseline_training(self):
+        total = baseline_training_ops(SHAPE, 100)
+        encoding = baseline_encoding_ops(SHAPE).scaled(100)
+        assert encoding_fraction(total, encoding) > 0.8
+
+    def test_full_cosine_more_expensive_than_simplified(self):
+        assert (
+            baseline_full_cosine_search_ops(SHAPE).total_arithmetic
+            > baseline_search_ops(SHAPE).total_arithmetic
+        )
+
+    def test_inference_is_encode_plus_search(self):
+        inference = baseline_inference_ops(SHAPE)
+        parts = baseline_encoding_ops(SHAPE) + baseline_search_ops(SHAPE)
+        assert inference.total_arithmetic == parts.total_arithmetic
+
+    def test_lookhd_inference_composition(self):
+        inference = lookhd_inference_ops(SHAPE)
+        parts = lookhd_encoding_ops(SHAPE) + lookhd_search_ops(SHAPE)
+        assert inference.total_arithmetic == parts.total_arithmetic
+
+    def test_quantization_scales_with_q(self):
+        q2 = quantization_ops(WorkloadShape(100, 2, levels=2))
+        q8 = quantization_ops(WorkloadShape(100, 2, levels=8))
+        assert q8.adds == 4 * q2.adds

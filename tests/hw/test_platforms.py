@@ -1,0 +1,83 @@
+import pytest
+
+from repro.hw.opcounts import OpCounts
+from repro.hw.platforms import (
+    PhaseResult,
+    ResourceClass,
+    RooflinePlatform,
+    overlap,
+)
+
+
+class TwoLanePlatform(RooflinePlatform):
+    """Minimal concrete platform: 100 adds/s, 10 mults/s."""
+
+    name = "test-platform"
+    static_watts = 1.0
+    phase_overhead_seconds = 0.0
+
+    @property
+    def resources(self):
+        return {
+            "add": ResourceClass("add", 100.0, 2.0),
+            "mul": ResourceClass("mul", 10.0, 4.0),
+        }
+
+    def demand(self, ops):
+        return {"add": ops.adds, "mul": ops.mults}
+
+
+class TestPhaseResult:
+    def test_addition(self):
+        total = PhaseResult(1.0, 2.0) + PhaseResult(3.0, 4.0)
+        assert total.seconds == 4.0
+        assert total.joules == 6.0
+
+    def test_watts(self):
+        assert PhaseResult(2.0, 10.0).watts == 5.0
+
+    def test_edp(self):
+        assert PhaseResult(2.0, 3.0).edp == 6.0
+
+    def test_overlap_takes_max_time_sum_energy(self):
+        merged = overlap(PhaseResult(1.0, 2.0), PhaseResult(3.0, 1.0))
+        assert merged.seconds == 3.0
+        assert merged.joules == 3.0
+
+
+class TestRooflinePlatform:
+    def test_bottleneck_resource_sets_time(self):
+        platform = TwoLanePlatform()
+        # 100 adds (1 s at 100/s) vs 50 mults (5 s at 10/s) -> 5 s.
+        result = platform.run(OpCounts(adds=100, mults=50))
+        assert result.seconds == pytest.approx(5.0)
+
+    def test_energy_includes_static_and_dynamic(self):
+        platform = TwoLanePlatform()
+        result = platform.run(OpCounts(mults=10))  # 1 s on mul alone
+        # static 1 W + mul at full utilisation 4 W = 5 J over 1 s.
+        assert result.joules == pytest.approx(5.0)
+
+    def test_partial_utilisation_draws_less(self):
+        platform = TwoLanePlatform()
+        # mults dominate (5 s); adds busy only 1 s -> add power at 20%.
+        result = platform.run(OpCounts(adds=100, mults=50))
+        expected = 5.0 * (1.0 + 4.0 + 2.0 * (1.0 / 5.0))
+        assert result.joules == pytest.approx(expected)
+
+    def test_empty_phase(self):
+        result = TwoLanePlatform().run(OpCounts())
+        assert result.seconds == 0.0
+        assert result.joules == 0.0
+
+    def test_run_phases_sums(self):
+        platform = TwoLanePlatform()
+        single = platform.run(OpCounts(adds=100))
+        double = platform.run_phases([OpCounts(adds=100), OpCounts(adds=100)])
+        assert double.seconds == pytest.approx(2 * single.seconds)
+
+    def test_bad_resource_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceClass("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            ResourceClass("x", 1.0, -1.0)

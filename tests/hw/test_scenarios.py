@@ -1,0 +1,105 @@
+import pytest
+
+from repro.hw.arm import ArmCortexA53
+from repro.hw.fpga import KintexFpga
+from repro.hw.opcounts import WorkloadShape
+from repro.hw.scenarios import (
+    baseline_inference,
+    baseline_retraining,
+    baseline_training,
+    lookhd_inference,
+    lookhd_retraining,
+    lookhd_training,
+    model_size_bytes,
+)
+
+SPEECH = WorkloadShape(617, 26, dim=2000, levels=4, chunk_size=5)
+SPEECH_BASE = WorkloadShape(617, 26, dim=2000, levels=16, chunk_size=5)
+
+
+@pytest.fixture(scope="module")
+def fpga():
+    return KintexFpga()
+
+
+@pytest.fixture(scope="module")
+def arm():
+    return ArmCortexA53()
+
+
+class TestHeadlineDirections:
+    """The paper's qualitative results must hold in the model."""
+
+    def test_lookhd_training_wins_on_fpga(self, fpga):
+        # SPEECH (k=26) is LookHD's worst training case (per-class
+        # materialisation); it must still win clearly.
+        base = baseline_training(fpga, SPEECH_BASE, 6000)
+        look = lookhd_training(fpga, SPEECH, 6000)
+        assert base.seconds / look.seconds > 2
+        assert base.joules / look.joules > 2
+
+    def test_lookhd_training_wins_on_cpu(self, arm):
+        base = baseline_training(arm, SPEECH_BASE, 6000)
+        look = lookhd_training(arm, SPEECH, 6000)
+        assert base.seconds / look.seconds > 2
+
+    def test_q2_trains_faster_than_q4(self, fpga):
+        q2 = WorkloadShape(617, 26, dim=2000, levels=2, chunk_size=5)
+        q4 = WorkloadShape(617, 26, dim=2000, levels=4, chunk_size=5)
+        assert (
+            lookhd_training(fpga, q2, 6000).seconds
+            < lookhd_training(fpga, q4, 6000).seconds
+        )
+
+    def test_lookhd_inference_wins(self, fpga):
+        base = baseline_inference(fpga, SPEECH_BASE)
+        look = lookhd_inference(fpga, SPEECH)
+        assert base.seconds / look.seconds > 1.2
+
+    def test_lookhd_retraining_wins(self, fpga):
+        base = baseline_retraining(fpga, SPEECH_BASE, 6000)
+        look = lookhd_retraining(fpga, SPEECH, 6000)
+        assert base.seconds / look.seconds > 1.5
+
+    def test_fpga_beats_cpu_on_baseline_training(self, fpga, arm):
+        cpu = baseline_training(arm, SPEECH_BASE, 6000)
+        accel = baseline_training(fpga, SPEECH_BASE, 6000)
+        assert cpu.seconds / accel.seconds > 50
+
+
+class TestPipelineOverlap:
+    def test_fpga_inference_overlaps(self, fpga):
+        # Pipelined latency <= sum of stage latencies.
+        from repro.hw.opcounts import lookhd_encoding_ops, lookhd_search_ops
+
+        encode = fpga.run(lookhd_encoding_ops(SPEECH))
+        search = fpga.run(lookhd_search_ops(SPEECH))
+        combined = lookhd_inference(fpga, SPEECH)
+        assert combined.seconds == pytest.approx(
+            max(encode.seconds, search.seconds)
+        )
+        assert combined.joules == pytest.approx(encode.joules + search.joules)
+
+    def test_cpu_inference_is_sequential(self, arm):
+        from repro.hw.opcounts import lookhd_encoding_ops, lookhd_search_ops
+
+        encode = arm.run(lookhd_encoding_ops(SPEECH))
+        search = arm.run(lookhd_search_ops(SPEECH))
+        combined = lookhd_inference(arm, SPEECH)
+        assert combined.seconds == pytest.approx(encode.seconds + search.seconds)
+
+
+class TestModelSize:
+    def test_compressed_model_smaller(self):
+        full = model_size_bytes(SPEECH, compressed=False)
+        compressed = model_size_bytes(SPEECH, compressed=True)
+        assert full / compressed == pytest.approx(26 / 3)
+
+    def test_single_hypervector_mode(self):
+        shape = WorkloadShape(617, 26, dim=2000, group_size=26)
+        assert model_size_bytes(shape, compressed=True) == 2000 * 4
+
+    def test_retraining_scales_with_updates(self, fpga):
+        few = baseline_retraining(fpga, SPEECH_BASE, 6000, update_fraction=0.05)
+        many = baseline_retraining(fpga, SPEECH_BASE, 6000, update_fraction=0.5)
+        assert many.seconds >= few.seconds

@@ -1,0 +1,120 @@
+"""Integration tests: the full LookHD pipeline across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import APPLICATIONS, load_application
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.hdc.classifier import BaselineHDClassifier
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+class TestPaperApplications:
+    """Accuracy on the calibrated stand-in datasets at reduced budgets."""
+
+    @pytest.mark.parametrize("name", ["activity", "physical", "face", "extra"])
+    def test_lookhd_tracks_paper_accuracy(self, name):
+        app = APPLICATIONS[name]
+        data = load_application(name, train_limit=400)
+        clf = LookHDClassifier(LookHDConfig(dim=1024, levels=app.lookhd_q))
+        clf.fit(data.train_features, data.train_labels, retrain_iterations=4)
+        accuracy = clf.score(data.test_features, data.test_labels)
+        assert accuracy > app.paper_lookhd_accuracy_d2000 - 0.12
+
+    def test_speech_with_exact_mode_groups(self):
+        # k = 26 > 12 -> three compressed hypervectors, modest loss.
+        data = load_application("speech", train_limit=500)
+        clf = LookHDClassifier(LookHDConfig(dim=2000, levels=4))
+        clf.fit(data.train_features, data.train_labels, retrain_iterations=3)
+        assert clf.compressed_model.n_groups == 3
+        assert clf.score(data.test_features, data.test_labels) > 0.8
+
+
+class TestLookHDVsBaseline:
+    def test_equalized_low_q_matches_linear_high_q(self):
+        # Fig. 4's punchline: LookHD with q=4 equalized >= baseline q=16
+        # linear on skewed data.
+        data = load_application("activity", train_limit=300)
+        look = LookHDClassifier(LookHDConfig(dim=1024, levels=4))
+        look.fit(data.train_features, data.train_labels, retrain_iterations=3)
+        base = BaselineHDClassifier(dim=1024, levels=16)
+        base.fit(data.train_features, data.train_labels, retrain_iterations=3)
+        assert look.score(data.test_features, data.test_labels) >= (
+            base.score(data.test_features, data.test_labels) - 0.03
+        )
+
+    def test_model_size_reduction_matches_group_math(self):
+        data = load_application("physical", train_limit=200)
+        look = LookHDClassifier(LookHDConfig(dim=512, levels=2))
+        look.fit(data.train_features, data.train_labels)
+        base = BaselineHDClassifier(dim=512, levels=8)
+        base.fit(data.train_features, data.train_labels)
+        # physical: k = 12 -> single compressed hypervector -> 12x smaller.
+        assert base.model_size_bytes() / look.model_size_bytes() == 12
+
+
+class TestScaleRobustness:
+    def test_tiny_feature_count(self):
+        spec = SyntheticSpec(
+            n_features=2, n_classes=2, n_train=80, n_test=40,
+            class_separation=4.0, informative_fraction=1.0, seed=1,
+        )
+        data = make_synthetic_classification(spec)
+        clf = LookHDClassifier(LookHDConfig(dim=256, levels=2, chunk_size=5))
+        clf.fit(data.train_features, data.train_labels)
+        assert clf.score(data.test_features, data.test_labels) > 0.8
+
+    def test_many_classes_with_grouping(self):
+        spec = SyntheticSpec(
+            n_features=60, n_classes=30, n_train=900, n_test=300,
+            class_separation=5.0, informative_fraction=1.0, seed=2,
+        )
+        data = make_synthetic_classification(spec)
+        clf = LookHDClassifier(LookHDConfig(dim=1024, levels=4, chunk_size=5, group_size=10))
+        clf.fit(data.train_features, data.train_labels, retrain_iterations=3)
+        assert clf.compressed_model.n_groups == 3
+        assert clf.score(data.test_features, data.test_labels) > 0.7
+
+    def test_single_feature_chunks(self):
+        spec = SyntheticSpec(
+            n_features=10, n_classes=3, n_train=150, n_test=60,
+            class_separation=4.0, informative_fraction=1.0, seed=3,
+        )
+        data = make_synthetic_classification(spec)
+        clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=1))
+        clf.fit(data.train_features, data.train_labels)
+        assert clf.score(data.test_features, data.test_labels) > 0.8
+
+    def test_streaming_training_matches_batch(self):
+        # Out-of-core counter training: observing in chunks must produce
+        # the identical model (and therefore identical predictions).
+        data = load_application("face", train_limit=200)
+        batch = LookHDClassifier(LookHDConfig(dim=512, levels=2, seed=5))
+        batch.fit(data.train_features, data.train_labels)
+
+        from repro.lookhd.trainer import LookHDTrainer
+
+        streamed = LookHDTrainer(batch.encoder, 2)
+        for start in range(0, data.n_train, 37):
+            streamed.observe(
+                data.train_features[start : start + 37],
+                data.train_labels[start : start + 37],
+            )
+        model = streamed.build_model()
+        assert np.array_equal(model.class_vectors, batch.class_model.class_vectors)
+
+
+class TestPersistenceRoundTrip:
+    def test_dataset_npz_round_trip_preserves_accuracy(self, tmp_path):
+        from repro.datasets.loaders import load_npz, save_npz
+
+        data = load_application("face", train_limit=150)
+        save_npz(data, tmp_path / "face.npz")
+        reloaded = load_npz(tmp_path / "face.npz")
+        clf = LookHDClassifier(LookHDConfig(dim=512, levels=2, seed=9))
+        clf.fit(reloaded.train_features, reloaded.train_labels)
+        direct = LookHDClassifier(LookHDConfig(dim=512, levels=2, seed=9))
+        direct.fit(data.train_features, data.train_labels)
+        assert clf.score(reloaded.test_features, reloaded.test_labels) == pytest.approx(
+            direct.score(data.test_features, data.test_labels)
+        )

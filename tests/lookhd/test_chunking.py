@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.lookhd.chunking import ChunkLayout
+
+
+class TestChunkLayout:
+    def test_even_split(self):
+        layout = ChunkLayout(20, 5)
+        assert layout.n_chunks == 4
+        assert layout.padding == 0
+
+    def test_uneven_split_pads(self):
+        layout = ChunkLayout(22, 5)
+        assert layout.n_chunks == 5
+        assert layout.padding == 3
+        assert layout.padded_features == 25
+
+    def test_chunk_larger_than_features_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkLayout(4, 5)
+
+    def test_single_chunk(self):
+        layout = ChunkLayout(5, 5)
+        assert layout.n_chunks == 1
+
+    def test_split_levels_shape(self):
+        layout = ChunkLayout(10, 5)
+        out = layout.split_levels(np.zeros((7, 10), dtype=int))
+        assert out.shape == (7, 2, 5)
+
+    def test_split_levels_values_preserved(self):
+        layout = ChunkLayout(6, 3)
+        levels = np.arange(6)[np.newaxis, :]
+        out = layout.split_levels(levels)
+        assert out[0, 0].tolist() == [0, 1, 2]
+        assert out[0, 1].tolist() == [3, 4, 5]
+
+    def test_padding_uses_pad_level(self):
+        layout = ChunkLayout(4, 3)
+        out = layout.split_levels(np.ones((1, 4), dtype=int), pad_level=9)
+        assert out[0, 1].tolist() == [1, 9, 9]
+
+    def test_padding_is_identical_across_samples(self):
+        # Padding must contribute the same offset to every sample so it
+        # never changes similarity rankings.
+        layout = ChunkLayout(4, 3)
+        a = layout.split_levels(np.zeros((1, 4), dtype=int))
+        b = layout.split_levels(np.ones((1, 4), dtype=int))
+        assert a[0, 1, 1:].tolist() == b[0, 1, 1:].tolist()
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkLayout(10, 5).split_levels(np.zeros((2, 9), dtype=int))
+
+    def test_describe_mentions_geometry(self):
+        text = ChunkLayout(22, 5).describe()
+        assert "22" in text and "5" in text

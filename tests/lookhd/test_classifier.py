@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro.lookhd.classifier import EXACT_GROUP_SIZE, LookHDClassifier, LookHDConfig
+
+
+class TestLookHDConfig:
+    def test_defaults(self):
+        config = LookHDConfig()
+        assert config.dim == 2_000
+        assert config.levels == 4
+        assert config.chunk_size == 5
+        assert config.compress
+        assert config.group_size == EXACT_GROUP_SIZE
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            LookHDConfig(dim=0)
+        with pytest.raises(ValueError):
+            LookHDConfig(levels=-1)
+
+
+class TestLookHDClassifier:
+    def test_learns_separable_data(self, small_dataset, fitted_lookhd):
+        accuracy = fitted_lookhd.score(
+            small_dataset.test_features, small_dataset.test_labels
+        )
+        assert accuracy > 0.85
+
+    def test_compressed_close_to_uncompressed(self, small_dataset):
+        compressed = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4))
+        compressed.fit(small_dataset.train_features, small_dataset.train_labels)
+        plain = LookHDClassifier(
+            LookHDConfig(dim=512, levels=4, chunk_size=4, compress=False)
+        )
+        plain.fit(small_dataset.train_features, small_dataset.train_labels)
+        a = compressed.score(small_dataset.test_features, small_dataset.test_labels)
+        b = plain.score(small_dataset.test_features, small_dataset.test_labels)
+        assert abs(a - b) < 0.1
+
+    def test_compressed_model_is_smaller(self, small_dataset, fitted_lookhd):
+        plain = LookHDClassifier(
+            LookHDConfig(dim=512, levels=4, chunk_size=4, compress=False)
+        )
+        plain.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert fitted_lookhd.model_size_bytes() < plain.model_size_bytes()
+        assert (
+            plain.model_size_bytes() / fitted_lookhd.model_size_bytes()
+            == small_dataset.n_classes
+        )
+
+    def test_retraining_improves_or_holds(self, small_dataset):
+        plain = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4))
+        plain.fit(small_dataset.train_features, small_dataset.train_labels)
+        base = plain.score(small_dataset.test_features, small_dataset.test_labels)
+        retrained = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4))
+        retrained.fit(
+            small_dataset.train_features, small_dataset.train_labels, retrain_iterations=5
+        )
+        assert retrained.score(
+            small_dataset.test_features, small_dataset.test_labels
+        ) >= base - 0.05
+
+    def test_chunk_size_clamped_to_feature_count(self):
+        rng = np.random.default_rng(0)
+        features = rng.random((50, 3))  # fewer features than chunk_size=5
+        labels = rng.integers(0, 2, size=50)
+        clf = LookHDClassifier(LookHDConfig(dim=128, levels=2, chunk_size=5))
+        clf.fit(features, labels)
+        assert clf.encoder.layout.chunk_size == 3
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LookHDClassifier().predict(np.zeros(4))
+
+    def test_single_sample_predict_is_scalar(self, small_dataset, fitted_lookhd):
+        out = fitted_lookhd.predict(small_dataset.test_features[0])
+        assert isinstance(out, (int, np.integer))
+
+    def test_uncompressed_retraining_path(self, small_dataset):
+        clf = LookHDClassifier(
+            LookHDConfig(dim=512, levels=4, chunk_size=4, compress=False)
+        )
+        trace = clf.fit(
+            small_dataset.train_features, small_dataset.train_labels, retrain_iterations=3
+        )
+        assert trace.iterations >= 1
+        assert clf.score(small_dataset.test_features, small_dataset.test_labels) > 0.8
+
+    def test_validation_trace(self, small_dataset):
+        clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4))
+        trace = clf.fit(
+            small_dataset.train_features,
+            small_dataset.train_labels,
+            retrain_iterations=2,
+            validation=(small_dataset.test_features, small_dataset.test_labels),
+        )
+        assert len(trace.validation_accuracy) == trace.iterations
+
+    def test_lookup_table_bytes(self, fitted_lookhd):
+        # q=4, r=4 -> 256 rows of 512 int16 elements.
+        assert fitted_lookhd.lookup_table_bytes() == 256 * 512 * 2
+
+    def test_deterministic_given_seed(self, small_dataset):
+        scores = []
+        for _ in range(2):
+            clf = LookHDClassifier(LookHDConfig(dim=256, levels=4, chunk_size=4, seed=42))
+            clf.fit(small_dataset.train_features, small_dataset.train_labels)
+            scores.append(clf.score(small_dataset.test_features, small_dataset.test_labels))
+        assert scores[0] == scores[1]
+
+    def test_group_size_none_single_hypervector(self, small_dataset):
+        clf = LookHDClassifier(
+            LookHDConfig(dim=512, levels=4, chunk_size=4, group_size=None)
+        )
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert clf.compressed_model.n_groups == 1
+
+    def test_quantizer_mismatch_rejected(self):
+        from repro.quantization.linear import LinearQuantizer
+
+        with pytest.raises(ValueError):
+            LookHDClassifier(LookHDConfig(levels=4), quantizer=LinearQuantizer(8))
+
+    def test_misaligned_labels_rejected(self, small_dataset):
+        clf = LookHDClassifier(LookHDConfig(dim=128, levels=2, chunk_size=4))
+        with pytest.raises(ValueError):
+            clf.fit(small_dataset.train_features, small_dataset.train_labels[:-1])

@@ -1,0 +1,144 @@
+import numpy as np
+import pytest
+
+from repro.hdc.model import ClassModel
+from repro.hdc.similarity import normalize_rows
+from repro.lookhd.compression import CompressedModel, decorrelate_classes
+
+
+def make_class_model(k=4, dim=2000, seed=0, correlation=0.9):
+    """Correlated integer class vectors, as HDC training produces."""
+    rng = np.random.default_rng(seed)
+    shared = rng.normal(size=dim)
+    model = ClassModel(k, dim)
+    for index in range(k):
+        private = rng.normal(size=dim)
+        vector = np.sqrt(correlation) * shared + np.sqrt(1 - correlation) * private
+        model.class_vectors[index] = np.round(vector * 500).astype(np.int64)
+    return model
+
+
+class TestDecorrelateClasses:
+    def test_reduces_norms(self):
+        model = make_class_model()
+        prepared = normalize_rows(model.class_vectors)
+        residual = decorrelate_classes(prepared)
+        assert np.linalg.norm(residual, axis=1).max() < 0.7
+
+    def test_preserves_score_rankings(self):
+        # Decorrelation shifts every per-query score by a near-constant
+        # offset, so argmax rankings survive.
+        model = make_class_model(k=6, seed=1)
+        prepared = normalize_rows(model.class_vectors)
+        residual = decorrelate_classes(prepared)
+        rng = np.random.default_rng(2)
+        queries = prepared[rng.integers(0, 6, size=50)] + 0.2 * rng.normal(size=(50, 2000))
+        before = np.argmax(queries @ prepared.T, axis=1)
+        after = np.argmax(queries @ residual.T, axis=1)
+        assert np.mean(before == after) > 0.9
+
+    def test_zero_matrix_unchanged(self):
+        out = decorrelate_classes(np.zeros((3, 8)))
+        assert np.all(out == 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            decorrelate_classes(np.zeros(8))
+
+    def test_input_not_mutated(self):
+        matrix = np.ones((2, 4))
+        decorrelate_classes(matrix)
+        assert np.all(matrix == 1)
+
+
+class TestCompressedModel:
+    def test_single_group_by_default_for_small_k(self):
+        compressed = CompressedModel(make_class_model(k=4), group_size=None)
+        assert compressed.n_groups == 1
+
+    def test_group_partitioning(self):
+        compressed = CompressedModel(make_class_model(k=26), group_size=12)
+        assert compressed.n_groups == 3
+
+    def test_scores_shape(self):
+        compressed = CompressedModel(make_class_model(k=4))
+        out = compressed.scores(np.random.default_rng(0).normal(size=(7, 2000)))
+        assert out.shape == (7, 4)
+
+    def test_scores_rank_like_exact_dot_products(self):
+        # On queries that carry class structure (as encoded HDC queries
+        # do), the compressed scores preserve the exact argmax.
+        model = make_class_model(k=4, seed=3)
+        compressed = CompressedModel(model)
+        rng = np.random.default_rng(4)
+        labels = rng.integers(0, 4, size=50)
+        queries = normalize_rows(model.class_vectors)[labels]
+        queries = queries + (0.3 / np.sqrt(2000)) * rng.normal(size=(50, 2000))
+        exact_rank = np.argmax(queries @ compressed.prepared_classes.T, axis=1)
+        approx_rank = np.argmax(compressed.scores(queries), axis=1)
+        assert np.mean(exact_rank == approx_rank) > 0.9
+
+    def test_predictions_match_uncompressed_on_clean_queries(self):
+        model = make_class_model(k=6, seed=5)
+        compressed = CompressedModel(model)
+        rng = np.random.default_rng(6)
+        labels = rng.integers(0, 6, size=100)
+        queries = normalize_rows(model.class_vectors)[labels] + (
+            0.3 / np.sqrt(2000)
+        ) * rng.normal(size=(100, 2000))
+        predictions = compressed.predict(queries)
+        assert np.mean(predictions == labels) > 0.95
+
+    def test_group_size_one_is_exact(self):
+        # One class per group: keys bind single classes, scoring reduces to
+        # the plain dot product (up to float rounding).
+        model = make_class_model(k=3, seed=7)
+        compressed = CompressedModel(model, group_size=1)
+        rng = np.random.default_rng(8)
+        queries = rng.normal(size=(10, 2000))
+        exact = queries @ compressed.prepared_classes.T
+        assert np.allclose(compressed.scores(queries), exact)
+
+    def test_model_size_and_compression_ratio(self):
+        compressed = CompressedModel(make_class_model(k=26), group_size=12)
+        assert compressed.model_size_bytes(4) == 3 * 2000 * 4
+        assert compressed.compression_ratio() == pytest.approx(26 / 3)
+
+    def test_multiplications_per_query(self):
+        compressed = CompressedModel(make_class_model(k=26), group_size=12)
+        assert compressed.multiplications_per_query() == 3 * 2000
+
+    def test_single_query_returns_int(self):
+        compressed = CompressedModel(make_class_model(k=4))
+        assert isinstance(compressed.predict(np.zeros(2000) + 1.0), int)
+
+    def test_retrain_update_moves_decision(self):
+        model = make_class_model(k=2, seed=9)
+        compressed = CompressedModel(model)
+        rng = np.random.default_rng(10)
+        query = rng.normal(size=2000)
+        before = compressed.scores(query)
+        for _ in range(30):
+            compressed.retrain_update(0, 1, query)
+        after = compressed.scores(query)
+        assert (after[0] - after[1]) > (before[0] - before[1])
+
+    def test_retrain_update_bad_class_rejected(self):
+        compressed = CompressedModel(make_class_model(k=2))
+        with pytest.raises(ValueError):
+            compressed.retrain_update(0, 2, np.zeros(2000))
+
+    def test_dimension_mismatch_rejected(self):
+        compressed = CompressedModel(make_class_model(k=2))
+        with pytest.raises(ValueError):
+            compressed.scores(np.zeros((1, 100)))
+
+    def test_deterministic_given_seed(self):
+        a = CompressedModel(make_class_model(), seed=11)
+        b = CompressedModel(make_class_model(), seed=11)
+        assert np.array_equal(a.compressed, b.compressed)
+
+    def test_learning_rate_shrinks_with_classes(self):
+        few = CompressedModel(make_class_model(k=2, seed=12))
+        many = CompressedModel(make_class_model(k=32, seed=12), group_size=12)
+        assert many.learning_rate < few.learning_rate

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+
+from repro.hdc.item_memory import RandomItemMemory
+from repro.lookhd.counters import ChunkCounters
+
+
+class TestChunkCounters:
+    def test_observe_single_sample(self):
+        counters = ChunkCounters(n_chunks=3, n_rows=8)
+        counters.observe(np.array([1, 5, 7]))
+        assert counters.counts[0, 1] == 1
+        assert counters.counts[1, 5] == 1
+        assert counters.counts[2, 7] == 1
+        assert counters.n_samples == 1
+
+    def test_observe_batch_accumulates(self):
+        counters = ChunkCounters(2, 4)
+        counters.observe(np.array([[0, 1], [0, 2], [0, 1]]))
+        assert counters.counts[0, 0] == 3
+        assert counters.counts[1, 1] == 2
+        assert counters.n_samples == 3
+
+    def test_out_of_range_address_rejected(self):
+        counters = ChunkCounters(2, 4)
+        with pytest.raises(ValueError):
+            counters.observe(np.array([0, 4]))
+
+    def test_wrong_chunk_count_rejected(self):
+        counters = ChunkCounters(2, 4)
+        with pytest.raises(ValueError):
+            counters.observe(np.array([[0, 1, 2]]))
+
+    def test_materialize_matches_manual(self):
+        rng = np.random.default_rng(0)
+        table = rng.integers(-3, 4, size=(8, 32))
+        positions = RandomItemMemory(2, 32, rng=1).vectors
+        counters = ChunkCounters(2, 8)
+        counters.observe(np.array([[3, 5], [3, 1]]))
+        manual = (
+            (2 * table[3].astype(np.int64)) * positions[0]
+            + (table[5].astype(np.int64) + table[1].astype(np.int64)) * positions[1]
+        )
+        assert np.array_equal(counters.materialize(table, positions), manual)
+
+    def test_sparse_and_dense_paths_agree(self):
+        rng = np.random.default_rng(1)
+        table = rng.integers(-3, 4, size=(64, 16))
+        positions = RandomItemMemory(3, 16, rng=2).vectors
+        sparse = ChunkCounters(3, 64)
+        sparse.observe(rng.integers(0, 64, size=(4, 3)))  # sparse occupancy
+        dense = ChunkCounters(3, 64)
+        dense.counts = sparse.counts.copy()
+        dense.counts += 1  # force the dense path (full occupancy)
+        sparse_result = sparse.materialize(table, positions)
+        dense_result = dense.materialize(table, positions)
+        all_ones = ChunkCounters(3, 64)
+        all_ones.counts = np.ones((3, 64), dtype=np.int64)
+        ones_result = all_ones.materialize(table, positions)
+        assert np.array_equal(dense_result, sparse_result + ones_result)
+
+    def test_merge(self):
+        a = ChunkCounters(2, 4)
+        a.observe(np.array([0, 1]))
+        b = ChunkCounters(2, 4)
+        b.observe(np.array([0, 2]))
+        a.merge(b)
+        assert a.counts[0, 0] == 2
+        assert a.n_samples == 2
+
+    def test_merge_geometry_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkCounters(2, 4).merge(ChunkCounters(2, 8))
+
+    def test_occupancy(self):
+        counters = ChunkCounters(2, 4)
+        assert counters.occupancy() == 0.0
+        counters.observe(np.array([0, 0]))
+        assert counters.occupancy() == pytest.approx(2 / 8)
+
+    def test_memory_bytes(self):
+        assert ChunkCounters(3, 16).memory_bytes(4) == 3 * 16 * 4

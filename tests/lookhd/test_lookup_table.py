@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.hdc.item_memory import LevelItemMemory
+from repro.lookhd.lookup_table import ChunkLookupTable
+from repro.quantization.codebook import address_to_levels
+
+
+@pytest.fixture(scope="module")
+def memory():
+    return LevelItemMemory(4, 256, rng=0)
+
+
+class TestChunkLookupTable:
+    def test_row_count(self, memory):
+        table = ChunkLookupTable(memory, 3)
+        assert len(table) == 4**3
+
+    def test_rows_match_direct_encoding(self, memory):
+        # Every row must equal Eq. 2 computed directly — the core
+        # correctness property of the pre-stored table.
+        table = ChunkLookupTable(memory, 3)
+        assert table.verify_against_encoder(n_samples=32, rng=1)
+
+    def test_specific_row(self, memory):
+        table = ChunkLookupTable(memory, 2)
+        address = 4 * 1 + 2  # levels (1, 2)
+        expected = memory[1].astype(np.int64) + np.roll(memory[2], 1).astype(np.int64)
+        assert np.array_equal(table.table[address].astype(np.int64), expected)
+
+    def test_lookup_batch(self, memory):
+        table = ChunkLookupTable(memory, 2)
+        out = table.lookup(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 256)
+
+    def test_weighted_sum_matches_manual(self, memory):
+        table = ChunkLookupTable(memory, 2)
+        counts = np.zeros(16, dtype=np.int64)
+        counts[3] = 2
+        counts[7] = 1
+        expected = 2 * table.table[3].astype(np.int64) + table.table[7].astype(np.int64)
+        assert np.array_equal(table.weighted_sum(counts), expected)
+
+    def test_weighted_sum_shape_check(self, memory):
+        table = ChunkLookupTable(memory, 2)
+        with pytest.raises(ValueError):
+            table.weighted_sum(np.zeros(5, dtype=np.int64))
+
+    def test_element_range_bounded_by_chunk_size(self, memory):
+        # Each element is a sum of r bipolar values: |element| <= r.
+        table = ChunkLookupTable(memory, 3)
+        assert table.table.max() <= 3
+        assert table.table.min() >= -3
+
+    def test_too_many_rows_rejected(self):
+        big_memory = LevelItemMemory(16, 64, rng=1)
+        with pytest.raises(ValueError):
+            ChunkLookupTable(big_memory, 6)  # 16^6 rows
+
+    def test_memory_bytes(self, memory):
+        table = ChunkLookupTable(memory, 2)
+        assert table.memory_bytes() == 16 * 256 * 2  # int16
+
+    def test_address_order_is_big_endian(self, memory):
+        table = ChunkLookupTable(memory, 2)
+        levels = address_to_levels(np.array([6]), 4, 2)  # 6 = 1*4 + 2
+        assert levels.tolist() == [[1, 2]]
+        direct = memory[1].astype(np.int64) + np.roll(memory[2], 1).astype(np.int64)
+        assert np.array_equal(table.table[6].astype(np.int64), direct)

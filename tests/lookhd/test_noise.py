@@ -1,0 +1,88 @@
+import numpy as np
+
+from repro.hdc.model import ClassModel
+from repro.lookhd.compression import CompressedModel
+from repro.lookhd.noise import (
+    class_cosine_spread,
+    compression_noise_report,
+    query_cosine_distribution,
+)
+
+
+def correlated_model(k, dim=2000, seed=0, correlation=0.9):
+    rng = np.random.default_rng(seed)
+    shared = rng.normal(size=dim)
+    model = ClassModel(k, dim)
+    for index in range(k):
+        vector = np.sqrt(correlation) * shared + np.sqrt(1 - correlation) * rng.normal(size=dim)
+        model.class_vectors[index] = np.round(vector * 500).astype(np.int64)
+    return model
+
+
+class TestCompressionNoiseReport:
+    def test_noise_grows_with_classes(self):
+        # Eq. 5: more folded classes -> more cross-talk terms.
+        ratios = []
+        for k in (2, 8, 24):
+            model = correlated_model(k, seed=k)
+            compressed = CompressedModel(model, group_size=None)
+            queries = np.random.default_rng(k).normal(size=(100, 2000))
+            report = compression_noise_report(
+                compressed, compressed.prepared_classes, queries
+            )
+            ratios.append(report.noise_to_signal)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_grouping_reduces_noise(self):
+        model = correlated_model(24, seed=1)
+        queries = np.random.default_rng(2).normal(size=(100, 2000))
+        single = CompressedModel(model, group_size=None)
+        grouped = CompressedModel(model, group_size=6)
+        noise_single = compression_noise_report(
+            single, single.prepared_classes, queries
+        ).noise_to_signal
+        noise_grouped = compression_noise_report(
+            grouped, grouped.prepared_classes, queries
+        ).noise_to_signal
+        assert noise_grouped < noise_single
+
+    def test_group_size_one_is_noiseless(self):
+        model = correlated_model(4, seed=3)
+        compressed = CompressedModel(model, group_size=1)
+        queries = np.random.default_rng(4).normal(size=(50, 2000))
+        report = compression_noise_report(compressed, compressed.prepared_classes, queries)
+        assert report.noise_to_signal < 1e-9
+        assert report.rank_flip_rate == 0.0
+
+    def test_report_fields_finite(self):
+        model = correlated_model(6, seed=5)
+        compressed = CompressedModel(model)
+        queries = np.random.default_rng(6).normal(size=(10, 2000))
+        report = compression_noise_report(compressed, compressed.prepared_classes, queries)
+        assert np.isfinite(report.mean_signal)
+        assert np.isfinite(report.mean_noise)
+        assert 0.0 <= report.rank_flip_rate <= 1.0
+
+
+class TestCosineSpreads:
+    def test_correlated_classes_are_concentrated(self):
+        model = correlated_model(6, seed=7, correlation=0.95)
+        spread = class_cosine_spread(model.class_vectors)
+        assert spread.min() > 0.85  # the Fig. 8 pathology
+
+    def test_decorrelation_widens_spread(self):
+        from repro.hdc.similarity import normalize_rows
+        from repro.lookhd.compression import decorrelate_classes
+
+        model = correlated_model(6, seed=8, correlation=0.95)
+        original = class_cosine_spread(model.class_vectors)
+        residual = decorrelate_classes(normalize_rows(model.class_vectors))
+        widened = class_cosine_spread(residual)
+        assert (widened.max() - widened.min()) > (original.max() - original.min())
+
+    def test_query_distribution_shape(self):
+        model = correlated_model(4, seed=9)
+        queries = np.random.default_rng(10).normal(size=(25, 2000))
+        out = query_cosine_distribution(model.class_vectors, queries)
+        assert out.shape == (100,)
+        assert np.all(np.abs(out) <= 1.0 + 1e-9)

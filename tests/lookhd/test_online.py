@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.online import OnlineLookHD
+
+
+@pytest.fixture
+def encoder(small_dataset):
+    clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=3))
+    clf.fit(small_dataset.train_features[:10], small_dataset.train_labels[:10])
+    return clf.encoder
+
+
+class TestOnlineLookHD:
+    def test_single_pass_learns(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        assert online.score(small_dataset.test_features, small_dataset.test_labels) > 0.85
+
+    def test_adaptive_weighting_downweights_known_samples(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        sample = small_dataset.train_features[:1]
+        label = small_dataset.train_labels[:1]
+        online.partial_fit(sample, label)
+        norm_after_first = np.linalg.norm(online._model[label[0]])
+        online.partial_fit(sample, label)
+        norm_after_second = np.linalg.norm(online._model[label[0]])
+        # The second presentation of an already-learned sample adds far
+        # less than the first (weight 1 - similarity).
+        first_growth = norm_after_first
+        second_growth = norm_after_second - norm_after_first
+        assert second_growth < 0.2 * first_growth
+
+    def test_incremental_batches(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        for start in range(0, small_dataset.n_train, 40):
+            online.partial_fit(
+                small_dataset.train_features[start : start + 40],
+                small_dataset.train_labels[start : start + 40],
+            )
+        assert online.samples_seen == small_dataset.n_train
+        assert online.score(small_dataset.test_features, small_dataset.test_labels) > 0.85
+
+    def test_compressed_snapshot(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        compressed = online.compressed()
+        queries = encoder.encode(small_dataset.test_features)
+        predictions = np.atleast_1d(compressed.predict(queries))
+        assert np.mean(predictions == small_dataset.test_labels) > 0.8
+
+    def test_label_out_of_range_rejected(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, 2)
+        with pytest.raises(ValueError):
+            online.partial_fit(small_dataset.train_features[:3], np.array([0, 1, 5]))
+
+    def test_bad_learning_rate_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            OnlineLookHD(encoder, 2, learning_rate=0.0)
+
+    def test_single_sample_predict(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        assert isinstance(
+            online.predict(small_dataset.test_features[0]), (int, np.integer)
+        )

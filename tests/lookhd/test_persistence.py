@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.persistence import load_classifier, save_classifier
+
+
+class TestPersistenceRoundTrip:
+    def test_predictions_bit_identical(self, small_dataset, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        restored = load_classifier(path)
+        original = np.atleast_1d(fitted_lookhd.predict(small_dataset.test_features))
+        reloaded = np.atleast_1d(restored.predict(small_dataset.test_features))
+        assert np.array_equal(original, reloaded)
+
+    def test_scores_identical(self, small_dataset, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        restored = load_classifier(path)
+        queries = fitted_lookhd.encode(small_dataset.test_features[:10])
+        assert np.allclose(
+            fitted_lookhd.compressed_model.scores(queries),
+            restored.compressed_model.scores(queries),
+        )
+
+    def test_uncompressed_round_trip(self, small_dataset, tmp_path):
+        clf = LookHDClassifier(
+            LookHDConfig(dim=256, levels=4, chunk_size=4, compress=False)
+        )
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        path = save_classifier(clf, tmp_path / "plain.npz")
+        restored = load_classifier(path)
+        assert restored.compressed_model is None
+        assert np.array_equal(
+            np.atleast_1d(clf.predict(small_dataset.test_features)),
+            np.atleast_1d(restored.predict(small_dataset.test_features)),
+        )
+
+    def test_restored_model_can_keep_retraining(self, small_dataset, fitted_lookhd, tmp_path):
+        from repro.lookhd.retraining import retrain_compressed
+
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        restored = load_classifier(path)
+        encoded = restored.encoder.encode_many(small_dataset.train_features)
+        trace = retrain_compressed(
+            restored.compressed_model, encoded, small_dataset.train_labels, iterations=2
+        )
+        assert trace.iterations >= 1
+        assert restored.score(small_dataset.test_features, small_dataset.test_labels) > 0.8
+
+    def test_unfitted_classifier_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_classifier(LookHDClassifier(), tmp_path / "x.npz")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_classifier(tmp_path / "absent.npz")
+
+    def test_config_round_trip(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        restored = load_classifier(path)
+        assert restored.config.dim == fitted_lookhd.config.dim
+        assert restored.config.levels == fitted_lookhd.config.levels
+        assert restored.n_classes == fitted_lookhd.n_classes

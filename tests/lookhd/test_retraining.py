@@ -1,0 +1,71 @@
+import numpy as np
+
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.retraining import retrain_compressed
+
+
+def fit_base(small_dataset, seed=0):
+    clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=seed))
+    clf.fit(small_dataset.train_features, small_dataset.train_labels)
+    encoded = clf.encoder.encode_many(small_dataset.train_features)
+    return clf, encoded
+
+
+class TestRetrainCompressed:
+    def test_accuracy_never_collapses(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        before = clf.score(small_dataset.test_features, small_dataset.test_labels)
+        retrain_compressed(
+            clf.compressed_model, encoded, small_dataset.train_labels, iterations=8
+        )
+        after = clf.score(small_dataset.test_features, small_dataset.test_labels)
+        # Best-state restoration guarantees retraining cannot end worse
+        # than the best traversed state; allow small generalisation slack.
+        assert after >= before - 0.05
+
+    def test_trace_lengths(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        trace = retrain_compressed(
+            clf.compressed_model, encoded, small_dataset.train_labels, iterations=4,
+            stop_when_clean=False,
+        )
+        assert trace.iterations == 4
+        assert len(trace.train_accuracy) == 4
+
+    def test_early_stop_on_clean_pass(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        trace = retrain_compressed(
+            clf.compressed_model, encoded, small_dataset.train_labels, iterations=50
+        )
+        assert trace.iterations < 50
+        assert trace.updates_per_iteration[-1] == 0
+
+    def test_zero_iterations_is_noop(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        before = clf.compressed_model.compressed.copy()
+        trace = retrain_compressed(
+            clf.compressed_model, encoded, small_dataset.train_labels, iterations=0
+        )
+        assert trace.iterations == 0
+        assert np.array_equal(before, clf.compressed_model.compressed)
+
+    def test_validation_trace_recorded(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        encoded_val = clf.encoder.encode_many(small_dataset.test_features)
+        trace = retrain_compressed(
+            clf.compressed_model,
+            encoded,
+            small_dataset.train_labels,
+            iterations=3,
+            validation=(encoded_val, small_dataset.test_labels),
+            stop_when_clean=False,
+        )
+        assert len(trace.validation_accuracy) == 3
+
+    def test_total_updates_property(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        trace = retrain_compressed(
+            clf.compressed_model, encoded, small_dataset.train_labels, iterations=3,
+            stop_when_clean=False,
+        )
+        assert trace.total_updates == sum(trace.updates_per_iteration)

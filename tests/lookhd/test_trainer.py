@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.hdc.item_memory import LevelItemMemory
+from repro.lookhd.chunking import ChunkLayout
+from repro.lookhd.encoder import LookupEncoder
+from repro.lookhd.lookup_table import ChunkLookupTable
+from repro.lookhd.trainer import LookHDTrainer
+from repro.quantization.equalized import EqualizedQuantizer
+
+
+@pytest.fixture
+def encoder():
+    rng = np.random.default_rng(0)
+    quantizer = EqualizedQuantizer(4).fit(rng.random(2000))
+    memory = LevelItemMemory(4, 128, rng=0)
+    table = ChunkLookupTable(memory, 3)
+    return LookupEncoder(quantizer, table, ChunkLayout(9, 3), seed=1)
+
+
+class TestLookHDTrainer:
+    def test_counter_training_equals_direct_bundling(self, encoder):
+        # THE core identity of Fig. 6: the counter-materialised class
+        # hypervectors are bit-identical to bundling per-sample encodings.
+        rng = np.random.default_rng(1)
+        features = rng.random((60, 9))
+        labels = rng.integers(0, 3, size=60)
+        trainer = LookHDTrainer(encoder, 3)
+        trainer.observe(features, labels)
+        model = trainer.build_model()
+
+        encoded = encoder.encode(features)
+        for class_index in range(3):
+            direct = encoded[labels == class_index].sum(axis=0)
+            assert np.array_equal(model.class_vectors[class_index], direct)
+
+    def test_streaming_observation_equals_single_batch(self, encoder):
+        rng = np.random.default_rng(2)
+        features = rng.random((40, 9))
+        labels = rng.integers(0, 2, size=40)
+        whole = LookHDTrainer(encoder, 2)
+        whole.observe(features, labels)
+        streamed = LookHDTrainer(encoder, 2)
+        for start in range(0, 40, 13):
+            streamed.observe(features[start : start + 13], labels[start : start + 13])
+        assert np.array_equal(
+            whole.build_model().class_vectors, streamed.build_model().class_vectors
+        )
+
+    def test_samples_seen(self, encoder):
+        trainer = LookHDTrainer(encoder, 2)
+        trainer.observe(np.random.default_rng(3).random((10, 9)), np.array([0] * 7 + [1] * 3))
+        assert trainer.samples_seen().tolist() == [7, 3]
+
+    def test_label_out_of_range_rejected(self, encoder):
+        trainer = LookHDTrainer(encoder, 2)
+        with pytest.raises(ValueError):
+            trainer.observe(np.random.default_rng(4).random((2, 9)), np.array([0, 2]))
+
+    def test_empty_class_yields_zero_vector(self, encoder):
+        trainer = LookHDTrainer(encoder, 3)
+        trainer.observe(np.random.default_rng(5).random((5, 9)), np.zeros(5, dtype=int))
+        model = trainer.build_model()
+        assert np.all(model.class_vectors[2] == 0)
+
+    def test_counter_memory_bytes(self, encoder):
+        trainer = LookHDTrainer(encoder, 2)
+        assert trainer.counter_memory_bytes(4) == 2 * 3 * 64 * 4
+
+    def test_unbound_positions_supported(self):
+        rng = np.random.default_rng(6)
+        quantizer = EqualizedQuantizer(2).fit(rng.random(500))
+        memory = LevelItemMemory(2, 64, rng=7)
+        table = ChunkLookupTable(memory, 2)
+        encoder = LookupEncoder(
+            quantizer, table, ChunkLayout(4, 2), seed=8, bind_positions=False
+        )
+        features = rng.random((20, 4))
+        labels = rng.integers(0, 2, size=20)
+        trainer = LookHDTrainer(encoder, 2)
+        trainer.observe(features, labels)
+        model = trainer.build_model()
+        encoded = encoder.encode(features)
+        direct = np.stack([encoded[labels == c].sum(axis=0) for c in range(2)])
+        assert np.array_equal(model.class_vectors, direct)
+
+    def test_invalid_class_count_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            LookHDTrainer(encoder, 0)

@@ -1,0 +1,164 @@
+"""Property-based tests (hypothesis) on the core algebraic invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hdc.ops import bind, bundle, permute, random_bipolar
+from repro.quantization.codebook import address_to_levels, chunk_addresses
+from repro.quantization.equalized import EqualizedQuantizer
+from repro.quantization.linear import LinearQuantizer
+
+dims = st.integers(min_value=4, max_value=128)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+class TestHypervectorAlgebra:
+    @given(dim=dims, seed=seeds, shift=st.integers(-200, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_permute_inverse(self, dim, seed, shift):
+        vector = random_bipolar(dim, rng=seed)
+        assert np.array_equal(permute(permute(vector, shift), -shift), vector)
+
+    @given(dim=dims, seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_bind_involution(self, dim, seed):
+        vector = random_bipolar(dim, rng=seed)
+        key = random_bipolar(dim, rng=seed + 1)
+        assert np.array_equal(bind(bind(vector, key), key), vector)
+
+    @given(dim=dims, seed=seeds, count=st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_bundle_commutes_with_permutation_of_inputs(self, dim, seed, count):
+        vectors = random_bipolar((count, dim), rng=seed)
+        shuffled = vectors[np.random.default_rng(seed).permutation(count)]
+        assert np.array_equal(bundle(vectors), bundle(shuffled))
+
+    @given(dim=dims, seed=seeds, shift=st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_distributes_over_bundle(self, dim, seed, shift):
+        # rho(a + b) == rho(a) + rho(b): the linearity Eq. 1 relies on.
+        vectors = random_bipolar((3, dim), rng=seed).astype(np.int64)
+        left = permute(vectors.sum(axis=0), shift)
+        right = permute(vectors, shift).sum(axis=0)
+        assert np.array_equal(left, right)
+
+
+class TestQuantizerProperties:
+    finite_floats = st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+
+    @given(
+        values=arrays(np.float64, st.integers(10, 200), elements=finite_floats),
+        levels=st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_linear_levels_in_range(self, values, levels):
+        q = LinearQuantizer(levels).fit(values)
+        out = q.transform(values)
+        assert out.min() >= 0 and out.max() < levels
+
+    @given(
+        values=arrays(np.float64, st.integers(10, 200), elements=finite_floats),
+        levels=st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equalized_levels_in_range(self, values, levels):
+        q = EqualizedQuantizer(levels).fit(values)
+        out = q.transform(values)
+        assert out.min() >= 0 and out.max() < levels
+
+    @given(
+        values=arrays(np.float64, st.integers(20, 200), elements=finite_floats),
+        levels=st.integers(2, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_quantizers_are_monotone(self, values, levels):
+        ordered = np.sort(values)
+        for quantizer in (LinearQuantizer(levels), EqualizedQuantizer(levels)):
+            levels_out = quantizer.fit(values).transform(ordered)
+            assert np.all(np.diff(levels_out) >= 0)
+
+    @given(
+        values=arrays(np.float64, st.integers(20, 100), elements=finite_floats),
+        levels=st.integers(2, 8),
+        scale_exponent=st.integers(-10, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_equalized_invariant_to_exact_rescaling(self, values, levels, scale_exponent):
+        # Power-of-two scaling is exact in binary floating point, so the
+        # quantile structure — and therefore every level assignment — must
+        # be preserved bit-for-bit.  (General affine shifts can merge
+        # denormal-scale distinctions and legitimately change levels.)
+        base = EqualizedQuantizer(levels).fit_transform(values)
+        rescaled = EqualizedQuantizer(levels).fit_transform(values * 2.0**scale_exponent)
+        assert np.array_equal(base, rescaled)
+
+
+class TestCodebookProperties:
+    @given(
+        q=st.integers(2, 8),
+        r=st.integers(1, 5),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_address_round_trip(self, q, r, data):
+        levels = data.draw(
+            arrays(np.int64, (4, r), elements=st.integers(0, q - 1))
+        )
+        addresses = chunk_addresses(levels, q)
+        assert np.array_equal(address_to_levels(addresses, q, r), levels)
+
+    @given(q=st.integers(2, 6), r=st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_addresses_are_bijective(self, q, r):
+        all_levels = address_to_levels(np.arange(q**r), q, r)
+        addresses = chunk_addresses(all_levels, q)
+        assert np.array_equal(addresses, np.arange(q**r))
+
+
+class TestCounterTrainingInvariant:
+    @given(seed=seeds, n_samples=st.integers(5, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_counter_equals_direct_for_random_data(self, seed, n_samples):
+        # The Fig. 6 identity, property-tested over random problems.
+        from repro.hdc.item_memory import LevelItemMemory
+        from repro.lookhd.chunking import ChunkLayout
+        from repro.lookhd.encoder import LookupEncoder
+        from repro.lookhd.lookup_table import ChunkLookupTable
+        from repro.lookhd.trainer import LookHDTrainer
+
+        rng = np.random.default_rng(seed)
+        quantizer = EqualizedQuantizer(3).fit(rng.random(500))
+        memory = LevelItemMemory(3, 64, rng=seed)
+        table = ChunkLookupTable(memory, 2)
+        encoder = LookupEncoder(quantizer, table, ChunkLayout(7, 2), seed=seed)
+        features = rng.random((n_samples, 7))
+        labels = rng.integers(0, 2, size=n_samples)
+        trainer = LookHDTrainer(encoder, 2)
+        trainer.observe(features, labels)
+        model = trainer.build_model()
+        encoded = encoder.encode(features)
+        for class_index in range(2):
+            direct = encoded[labels == class_index].sum(axis=0)
+            assert np.array_equal(model.class_vectors[class_index], direct)
+
+
+class TestCompressionProperties:
+    @given(seed=seeds, k=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_group_size_one_scoring_exact(self, seed, k):
+        from repro.hdc.model import ClassModel
+        from repro.lookhd.compression import CompressedModel
+
+        rng = np.random.default_rng(seed)
+        model = ClassModel(k, 256)
+        model.class_vectors = rng.integers(-50, 50, size=(k, 256)).astype(np.int64)
+        if not np.all(np.linalg.norm(model.class_vectors, axis=1) > 0):
+            return
+        compressed = CompressedModel(model, group_size=1, seed=seed)
+        queries = rng.normal(size=(5, 256))
+        exact = queries @ compressed.prepared_classes.T
+        assert np.allclose(compressed.scores(queries), exact)

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.quantization.codebook import Codebook, address_to_levels, chunk_addresses
+
+
+class TestCodebook:
+    def test_code_width(self):
+        assert Codebook(4).code(2) == "10"
+        assert Codebook(16).code(5) == "0101"
+
+    def test_codes_are_unique(self):
+        codes = Codebook(8).codes()
+        assert len(set(codes)) == 8
+
+    def test_out_of_range_level(self):
+        with pytest.raises(ValueError):
+            Codebook(4).code(4)
+
+    def test_concatenate_matches_manual(self):
+        cb = Codebook(4)
+        assert cb.concatenate(np.array([0, 1, 3])) == "000111"
+
+    def test_two_levels_one_bit(self):
+        assert Codebook(2).bits == 1
+
+
+class TestChunkAddresses:
+    def test_matches_codebook_concatenation(self):
+        # The integer address must equal the concatenated binary code when
+        # q is a power of two — the hardware's direct-addressing property.
+        cb = Codebook(4)
+        levels = np.array([2, 0, 3])
+        assert chunk_addresses(levels, 4) == int(cb.concatenate(levels), 2)
+
+    def test_batched_shape(self):
+        levels = np.zeros((6, 3, 5), dtype=int)
+        out = chunk_addresses(levels, 4)
+        assert out.shape == (6, 3)
+
+    def test_first_feature_most_significant(self):
+        assert chunk_addresses(np.array([1, 0]), 2) == 2
+        assert chunk_addresses(np.array([0, 1]), 2) == 1
+
+    def test_all_addresses_distinct(self):
+        levels = address_to_levels(np.arange(3**4), 3, 4)
+        addresses = chunk_addresses(levels, 3)
+        assert len(set(addresses.tolist())) == 3**4
+
+    def test_rejects_out_of_range_levels(self):
+        with pytest.raises(ValueError):
+            chunk_addresses(np.array([0, 4]), 4)
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            chunk_addresses(np.array(3), 4)
+
+
+class TestAddressToLevels:
+    def test_round_trip(self):
+        addresses = np.arange(4**3)
+        levels = address_to_levels(addresses, 4, 3)
+        assert np.array_equal(chunk_addresses(levels, 4), addresses)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            address_to_levels(np.array([64]), 4, 3)
+
+    def test_known_digits(self):
+        assert address_to_levels(np.array([11]), 4, 3).tolist() == [[0, 2, 3]]

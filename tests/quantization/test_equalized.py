@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.quantization.equalized import EqualizedQuantizer
+from repro.quantization.linear import LinearQuantizer
+
+
+class TestEqualizedQuantizer:
+    def test_skewed_data_fills_levels_evenly(self):
+        values = np.exp(np.random.default_rng(0).normal(size=5000))
+        q = EqualizedQuantizer(8).fit(values)
+        counts = q.level_counts(values)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_balance_beats_linear_on_skewed_data(self):
+        values = np.exp(np.random.default_rng(1).normal(size=5000))
+        equalized = EqualizedQuantizer(8).fit(values)
+        linear = LinearQuantizer(8).fit(values)
+        linear_balance = linear.level_counts(values).min() / linear.level_counts(values).max()
+        assert equalized.balance(values) > linear_balance + 0.5
+
+    def test_boundaries_are_quantiles(self):
+        values = np.random.default_rng(2).random(10_000)
+        q = EqualizedQuantizer(4).fit(values)
+        assert q.boundaries == pytest.approx([0.25, 0.5, 0.75], abs=0.02)
+
+    def test_boundaries_non_decreasing(self):
+        values = np.concatenate([np.zeros(100), np.random.default_rng(0).random(10)])
+        q = EqualizedQuantizer(8).fit(values)
+        assert np.all(np.diff(q.boundaries) >= 0)
+
+    def test_monotone_invariance_under_warp(self):
+        # Quantile quantization commutes with monotone transforms — the
+        # property that makes LookHD's accuracy independent of feature skew.
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=2000)
+        direct = EqualizedQuantizer(4).fit_transform(values)
+        warped = EqualizedQuantizer(4).fit_transform(np.exp(values))
+        assert np.array_equal(direct, warped)
+
+    def test_levels_within_range(self):
+        values = np.random.default_rng(4).normal(size=1000)
+        q = EqualizedQuantizer(4).fit(values)
+        levels = q.transform(values)
+        assert levels.min() >= 0 and levels.max() <= 3
+
+    def test_point_mass_degenerates_gracefully(self):
+        values = np.concatenate([np.zeros(900), np.ones(100)])
+        q = EqualizedQuantizer(4).fit(values)
+        out = q.transform(np.array([0.0, 1.0]))
+        assert out[0] < out[1]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            EqualizedQuantizer(2).transform(np.array([0.0]))
+
+    def test_fit_transform_equivalence(self):
+        values = np.random.default_rng(5).normal(size=300)
+        q = EqualizedQuantizer(4)
+        combined = q.fit_transform(values)
+        assert np.array_equal(combined, q.transform(values))
+
+    def test_single_level(self):
+        q = EqualizedQuantizer(1).fit(np.random.default_rng(6).random(100))
+        assert np.all(q.transform(np.random.default_rng(7).random(10)) == 0)

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.quantization.per_feature import PerFeatureEqualizedQuantizer
+
+
+class TestPerFeatureEqualizedQuantizer:
+    def test_each_feature_balanced(self):
+        rng = np.random.default_rng(0)
+        # Features with wildly different scales.
+        matrix = rng.random((1000, 3)) * np.array([1.0, 100.0, 0.01])
+        q = PerFeatureEqualizedQuantizer(4).fit(matrix)
+        levels = q.transform(matrix)
+        for feature in range(3):
+            counts = np.bincount(levels[:, feature], minlength=4)
+            assert counts.min() > 0.8 * counts.max()
+
+    def test_pooled_quantizer_fails_where_per_feature_succeeds(self):
+        from repro.quantization.equalized import EqualizedQuantizer
+
+        rng = np.random.default_rng(1)
+        matrix = rng.random((500, 2)) * np.array([1.0, 1000.0])
+        pooled = EqualizedQuantizer(4).fit(matrix)
+        pooled_levels = pooled.transform(matrix)
+        # Under pooling the small-scale feature is squeezed into the
+        # bottom levels (it never reaches the levels the big feature owns).
+        assert len(np.unique(pooled_levels[:, 0])) <= 2
+        per_feature = PerFeatureEqualizedQuantizer(4).fit(matrix)
+        assert len(np.unique(per_feature.transform(matrix)[:, 0])) == 4
+
+    def test_boundary_shape(self):
+        rng = np.random.default_rng(2)
+        q = PerFeatureEqualizedQuantizer(8).fit(rng.random((100, 5)))
+        assert q.boundaries.shape == (5, 7)
+
+    def test_feature_width_mismatch_rejected(self):
+        rng = np.random.default_rng(3)
+        q = PerFeatureEqualizedQuantizer(4).fit(rng.random((50, 4)))
+        with pytest.raises(ValueError):
+            q.transform(rng.random((5, 3)))
+
+    def test_single_sample_transform(self):
+        rng = np.random.default_rng(4)
+        q = PerFeatureEqualizedQuantizer(4).fit(rng.random((50, 4)))
+        out = q.transform(rng.random(4))
+        assert out.shape == (4,)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PerFeatureEqualizedQuantizer(4).transform(np.zeros((2, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            PerFeatureEqualizedQuantizer(4).fit(np.array([[1.0, np.nan]]))
+
+    def test_works_in_classifier(self, small_dataset):
+        from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+        clf = LookHDClassifier(
+            LookHDConfig(dim=512, levels=4, chunk_size=4),
+            quantizer=PerFeatureEqualizedQuantizer(4),
+        )
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        assert clf.score(small_dataset.test_features, small_dataset.test_labels) > 0.6

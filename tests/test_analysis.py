@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.analysis.capacity import predict_noise_std, snr_sweep
+from repro.analysis.robustness import bit_flip_model, robustness_curve
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+
+class TestCapacityPrediction:
+    def test_prediction_matches_measurement(self):
+        # Eq. 5 analytics: measured cross-talk std tracks the closed form
+        # within ~20% across class counts.
+        points = snr_sweep(class_grid=(2, 8, 32), dim=1024, n_queries=100)
+        for point in points:
+            assert point.agreement == pytest.approx(1.0, abs=0.25), point
+
+    def test_noise_grows_with_classes(self):
+        points = snr_sweep(class_grid=(2, 8, 32), dim=1024, n_queries=50)
+        stds = [p.predicted_noise_std for p in points]
+        assert stds[0] < stds[1] < stds[2]
+
+    def test_predict_shape(self):
+        rng = np.random.default_rng(0)
+        out = predict_noise_std(rng.normal(size=(5, 64)), rng.normal(size=(3, 64)))
+        assert out.shape == (5, 3)
+
+    def test_single_class_no_crosstalk(self):
+        rng = np.random.default_rng(1)
+        out = predict_noise_std(rng.normal(size=(4, 32)), rng.normal(size=(1, 32)))
+        assert np.allclose(out, 0.0)
+
+
+class TestBitFlipModel:
+    def test_zero_fraction_is_near_identity(self):
+        rng = np.random.default_rng(2)
+        model = rng.normal(size=(2, 64))
+        out = bit_flip_model(model, 0.0, rng=0)
+        assert np.allclose(out, model, atol=1e-6)
+
+    def test_flips_change_values(self):
+        rng = np.random.default_rng(3)
+        model = rng.normal(size=(2, 256))
+        out = bit_flip_model(model, 0.05, rng=0)
+        assert not np.allclose(out, model)
+
+    def test_output_bounded_by_input_scale(self):
+        rng = np.random.default_rng(4)
+        model = rng.normal(size=(1, 128))
+        out = bit_flip_model(model, 0.2, rng=1)
+        assert np.abs(out).max() <= np.abs(model).max() * (1 + 1e-9)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            bit_flip_model(np.ones((1, 4)), 1.5)
+
+    def test_zero_model_unchanged(self):
+        out = bit_flip_model(np.zeros((2, 8)), 0.5, rng=0)
+        assert np.all(out == 0)
+
+
+class TestRobustnessCurve:
+    def test_graceful_degradation(self, small_dataset):
+        clf = LookHDClassifier(LookHDConfig(dim=1024, levels=4, chunk_size=4))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        curve = robustness_curve(
+            clf,
+            small_dataset.test_features,
+            small_dataset.test_labels,
+            flip_fractions=(0.0, 0.01, 0.05),
+        )
+        clean = curve[0].accuracy
+        assert clean > 0.85
+        # The intro's robustness claim: 1% of stored bits flipped costs
+        # almost nothing.
+        assert curve[1].accuracy > clean - 0.08
+        # And the model is restored afterwards.
+        assert clf.score(
+            small_dataset.test_features, small_dataset.test_labels
+        ) == pytest.approx(clean)
+
+    def test_requires_compression(self, small_dataset):
+        clf = LookHDClassifier(
+            LookHDConfig(dim=256, levels=4, chunk_size=4, compress=False)
+        )
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        with pytest.raises(ValueError):
+            robustness_curve(clf, small_dataset.test_features, small_dataset.test_labels)

@@ -1,0 +1,65 @@
+"""CLI tests (argument parsing + end-to-end train/evaluate round trip)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.application == "activity"
+        assert args.dim == 2_000
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--application", "mnist"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "activity" in out
+        assert "fig04_quantization_accuracy" in out
+
+    def test_train_evaluate_round_trip(self, tmp_path, capsys):
+        model_path = str(tmp_path / "model.npz")
+        status = main(
+            ["train", "--application", "face", "--train-limit", "120",
+             "--dim", "256", "--levels", "2", "--chunk-size", "4",
+             "--retrain", "1", "--out", model_path]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+
+        status = main(
+            ["evaluate", "--model", model_path, "--application", "face",
+             "--train-limit", "120"]
+        )
+        assert status == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "fig16_resources"]) == 0
+        assert "Fig. 16" in capsys.readouterr().out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["experiment", "fig99_nonexistent"]) == 2
+
+    def test_train_on_user_npz(self, tmp_path, capsys, small_dataset):
+        from repro.datasets.loaders import save_npz
+
+        data_path = tmp_path / "user.npz"
+        save_npz(small_dataset, data_path)
+        status = main(
+            ["train", "--data", str(data_path), "--dim", "256",
+             "--levels", "2", "--chunk-size", "4", "--retrain", "0"]
+        )
+        assert status == 0
+        assert "test accuracy" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(5)), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_same_seed_same_tag_matches(self):
+        a = derive_rng(10, "levels").integers(0, 10**9)
+        b = derive_rng(10, "levels").integers(0, 10**9)
+        assert a == b
+
+    def test_different_tags_are_independent(self):
+        a = derive_rng(10, "levels").integers(0, 10**9)
+        b = derive_rng(10, "positions").integers(0, 10**9)
+        assert a != b
+
+    def test_derive_from_generator_advances_parent(self):
+        parent = np.random.default_rng(0)
+        before = parent.bit_generator.state["state"]["state"]
+        derive_rng(parent, "x")
+        after = parent.bit_generator.state["state"]["state"]
+        assert before != after
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(0, 2)
+        assert children[0].integers(0, 10**9) != children[1].integers(0, 10**9)
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_deterministic_given_seed(self):
+        a = spawn_rngs(3, 2)[1].integers(0, 10**9)
+        b = spawn_rngs(3, 2)[1].integers(0, 10**9)
+        assert a == b

@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.utils.stats import Summary, geometric_mean, histogram_fractions
+
+
+class TestSummary:
+    def test_basic_fields(self):
+        s = Summary.of(np.array([1.0, 2.0, 3.0]))
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+
+    def test_flattens_input(self):
+        s = Summary.of(np.ones((2, 3)))
+        assert s.count == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Summary.of(np.array([]))
+
+
+class TestGeometricMean:
+    def test_matches_known_value(self):
+        assert geometric_mean(np.array([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_identity_on_constant(self):
+        assert geometric_mean(np.array([3.0, 3.0, 3.0])) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([1.0, 0.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.array([]))
+
+    def test_below_arithmetic_mean(self):
+        values = np.array([1.0, 10.0])
+        assert geometric_mean(values) < values.mean()
+
+
+class TestHistogramFractions:
+    def test_fractions_sum_to_one(self):
+        values = np.random.default_rng(0).normal(size=500)
+        bins = np.linspace(-4, 4, 9)
+        fractions = histogram_fractions(values, bins)
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_empty_input_gives_zeros(self):
+        fractions = histogram_fractions(np.array([]), np.linspace(0, 1, 5))
+        assert np.all(fractions == 0)

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_in_range,
+    check_positive_int,
+    check_power_of_two,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int32(7), "x") == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="widgets"):
+            check_positive_int(-1, "widgets")
+
+
+class TestCheckInRange:
+    def test_inside(self):
+        assert check_in_range(0.5, "x", 0, 1) == 0.5
+
+    def test_boundaries_inclusive(self):
+        assert check_in_range(0.0, "x", 0, 1) == 0.0
+        assert check_in_range(1.0, "x", 0, 1) == 1.0
+
+    def test_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, "x", 0, 1)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts_powers(self):
+        for value in (1, 2, 4, 1024):
+            assert check_power_of_two(value, "x") == value
+
+    def test_rejects_non_powers(self):
+        for value in (3, 6, 1000):
+            with pytest.raises(ValueError):
+                check_power_of_two(value, "x")
+
+
+class TestShapeChecks:
+    def test_check_1d_passes_vector(self):
+        out = check_1d([1, 2, 3], "v")
+        assert out.shape == (3,)
+
+    def test_check_1d_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            check_1d(np.zeros((2, 2)), "v")
+
+    def test_check_2d_promotes_vector(self):
+        out = check_2d([1, 2, 3], "m")
+        assert out.shape == (1, 3)
+
+    def test_check_2d_passes_matrix(self):
+        out = check_2d(np.zeros((4, 5)), "m")
+        assert out.shape == (4, 5)
+
+    def test_check_2d_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_2d(np.zeros((2, 2, 2)), "m")

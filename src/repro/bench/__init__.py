@@ -1,0 +1,35 @@
+"""Reproducible performance harness for the LookHD hot paths.
+
+Times the lookup-domain kernels against their hypervector-domain reference
+implementations on pinned-seed synthetic workloads and writes
+machine-readable ``BENCH_training.json`` / ``BENCH_inference.json`` at the
+repo root, so every PR leaves a perf trajectory behind it.
+
+Entry points:
+
+* ``repro bench`` (CLI) — run a profile and write the JSON files;
+* :func:`repro.bench.runner.run_inference_bench` /
+  :func:`repro.bench.runner.run_training_bench` — programmatic use;
+* :func:`repro.bench.schema.validate_bench_payload` — structural schema
+  check used by tests and CI.
+"""
+
+from repro.bench.runner import (
+    run_bench_profile,
+    run_inference_bench,
+    run_training_bench,
+    write_bench_files,
+)
+from repro.bench.schema import SCHEMA_VERSION, validate_bench_payload
+from repro.bench.workloads import BenchWorkload, profile_workloads
+
+__all__ = [
+    "BenchWorkload",
+    "profile_workloads",
+    "run_bench_profile",
+    "run_inference_bench",
+    "run_training_bench",
+    "write_bench_files",
+    "validate_bench_payload",
+    "SCHEMA_VERSION",
+]

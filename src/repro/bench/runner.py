@@ -1,0 +1,254 @@
+"""Benchmark runner: time the fused kernels against their references.
+
+Two benchmark kinds, mirroring the paper's cost split:
+
+* **training** — lookup-domain counter training (Fig. 6: observe addresses,
+  materialise once) vs the hypervector-domain reference (encode every
+  sample, accumulate per class).  The two produce bit-identical class
+  hypervectors, so the ``checks`` stanza doubles as a correctness gate.
+* **inference** — fused encoding (pre-bound gather + sum) and fused
+  score-table prediction (:mod:`repro.lookhd.inference`) vs the reference
+  ``(N, m, D)``-materialising encode and group-loop Eq. 4/5 search.
+  Predictions must match exactly.
+
+All workloads are pinned-seed synthetic (see
+:mod:`repro.bench.workloads`), so every non-timing field of the output is
+deterministic across re-runs and machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.schema import SCHEMA_VERSION, validate_bench_payload
+from repro.bench.workloads import BenchWorkload, profile_workloads
+from repro.hdc.model import ClassModel
+from repro.hdc.ops import ACCUM_DTYPE
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.trainer import LookHDTrainer
+
+DEFAULT_REPEATS = 3
+
+
+def _time_stage(fn: Callable[[], object], n_samples: int, repeats: int) -> dict:
+    """Median-of-``repeats`` wall time for ``fn`` after one warmup call.
+
+    The warmup also charges any lazy table builds (pre-bound table, score
+    table) to setup rather than to the steady-state timing — matching how
+    a deployed model amortises them.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    median = statistics.median(times)
+    return {
+        "seconds_median": median,
+        "seconds_best": min(times),
+        "samples_per_second": n_samples / max(median, 1e-12),
+        "repeats": repeats,
+    }
+
+
+def _sha256(array: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(array, dtype=np.int64).tobytes()).hexdigest()
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def _fit_classifier(workload: BenchWorkload, data) -> LookHDClassifier:
+    config = LookHDConfig(
+        dim=workload.dim,
+        levels=workload.levels,
+        chunk_size=workload.chunk_size,
+        group_size=workload.group_size,
+        decorrelate=workload.decorrelate,
+        seed=workload.seed,
+    )
+    clf = LookHDClassifier(config)
+    clf.fit(data.train_features, data.train_labels)
+    return clf
+
+
+def _encode_reference_batched(encoder, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
+    """Reference kernel applied batch-wise (whole-set (N, m, D) won't fit)."""
+    encoded = np.empty((features.shape[0], encoder.dim), dtype=ACCUM_DTYPE)
+    for start in range(0, features.shape[0], batch_size):
+        stop = min(start + batch_size, features.shape[0])
+        encoded[start:stop] = encoder.encode_reference(features[start:stop])
+    return encoded
+
+
+def run_inference_bench(
+    workloads: tuple[BenchWorkload, ...],
+    repeats: int = DEFAULT_REPEATS,
+    profile: str = "custom",
+) -> dict:
+    """Time encode + batch predict, fused vs reference, per workload."""
+    entries = []
+    for workload in workloads:
+        data = workload.make_dataset()
+        clf = _fit_classifier(workload, data)
+        test = data.test_features
+        timings = {
+            "encode_reference": _time_stage(
+                lambda: _encode_reference_batched(clf.encoder, test), test.shape[0], repeats
+            ),
+            "encode_fused": _time_stage(
+                lambda: clf.encoder.encode_many(test), test.shape[0], repeats
+            ),
+            "predict_reference": _time_stage(
+                lambda: clf.predict_reference(test), test.shape[0], repeats
+            ),
+            "predict_fused": _time_stage(lambda: clf.predict(test), test.shape[0], repeats),
+        }
+        fused_predictions = np.asarray(clf.predict(test))
+        reference_predictions = np.asarray(clf.predict_reference(test))
+        outputs_match = bool(np.array_equal(fused_predictions, reference_predictions))
+        labels = np.asarray(data.test_labels)
+        entries.append(
+            {
+                "name": workload.name,
+                "config": workload.config_dict(),
+                "timings": timings,
+                "speedups": {
+                    "encode": timings["encode_reference"]["seconds_median"]
+                    / max(timings["encode_fused"]["seconds_median"], 1e-12),
+                    "predict": timings["predict_reference"]["seconds_median"]
+                    / max(timings["predict_fused"]["seconds_median"], 1e-12),
+                },
+                "checks": {
+                    "outputs_match": outputs_match,
+                    "outputs_sha256": _sha256(fused_predictions),
+                    "accuracy_fused": float(np.mean(fused_predictions == labels)),
+                    "accuracy_reference": float(np.mean(reference_predictions == labels)),
+                    "score_table_bytes": clf.fused_engine().memory_bytes(),
+                    "prebound_table_bytes": (
+                        0
+                        if clf.encoder.prebound_table is None
+                        else int(clf.encoder.prebound_table.nbytes)
+                    ),
+                },
+            }
+        )
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "inference",
+        "profile": profile,
+        "environment": _environment(),
+        "workloads": entries,
+    }
+    return validate_bench_payload(payload, "inference")
+
+
+def run_training_bench(
+    workloads: tuple[BenchWorkload, ...],
+    repeats: int = DEFAULT_REPEATS,
+    profile: str = "custom",
+) -> dict:
+    """Time counter training vs encode-and-accumulate, per workload."""
+    entries = []
+    for workload in workloads:
+        data = workload.make_dataset()
+        # Fit once to obtain a fitted encoder shared by both training paths.
+        clf = _fit_classifier(workload, data)
+        encoder = clf.encoder
+        train_x = data.train_features
+        train_y = data.train_labels
+        n_classes = int(train_y.max()) + 1
+
+        def train_lookup() -> ClassModel:
+            trainer = LookHDTrainer(encoder, n_classes)
+            trainer.observe(train_x, train_y)
+            return trainer.build_model()
+
+        def train_reference() -> ClassModel:
+            model = ClassModel(n_classes, encoder.dim)
+            model.accumulate_batch(train_y, _encode_reference_batched(encoder, train_x))
+            return model
+
+        timings = {
+            "train_reference": _time_stage(train_reference, train_x.shape[0], repeats),
+            "train_lookup": _time_stage(train_lookup, train_x.shape[0], repeats),
+        }
+        lookup_vectors = train_lookup().class_vectors
+        reference_vectors = train_reference().class_vectors
+        entries.append(
+            {
+                "name": workload.name,
+                "config": workload.config_dict(),
+                "timings": timings,
+                "speedups": {
+                    "train": timings["train_reference"]["seconds_median"]
+                    / max(timings["train_lookup"]["seconds_median"], 1e-12),
+                },
+                "checks": {
+                    "outputs_match": bool(np.array_equal(lookup_vectors, reference_vectors)),
+                    "outputs_sha256": _sha256(lookup_vectors),
+                },
+            }
+        )
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "training",
+        "profile": profile,
+        "environment": _environment(),
+        "workloads": entries,
+    }
+    return validate_bench_payload(payload, "training")
+
+
+def run_bench_profile(profile: str, repeats: int = DEFAULT_REPEATS) -> tuple[dict, dict]:
+    """Run both benchmark kinds for a named profile."""
+    workloads = profile_workloads(profile)
+    training = run_training_bench(workloads, repeats=repeats, profile=profile)
+    inference = run_inference_bench(workloads, repeats=repeats, profile=profile)
+    return training, inference
+
+
+def write_bench_files(
+    profile: str,
+    out_dir: str | Path = ".",
+    repeats: int = DEFAULT_REPEATS,
+    stream=None,
+) -> tuple[Path, Path]:
+    """Run a profile and write ``BENCH_training.json`` / ``BENCH_inference.json``."""
+    if stream is None:
+        stream = sys.stdout
+    training, inference = run_bench_profile(profile, repeats=repeats)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    training_path = out_dir / "BENCH_training.json"
+    inference_path = out_dir / "BENCH_inference.json"
+    training_path.write_text(json.dumps(training, indent=2, sort_keys=True) + "\n")
+    inference_path.write_text(json.dumps(inference, indent=2, sort_keys=True) + "\n")
+    for payload in (training, inference):
+        for entry in payload["workloads"]:
+            speedups = ", ".join(
+                f"{name} {value:.1f}x" for name, value in sorted(entry["speedups"].items())
+            )
+            print(
+                f"[{payload['benchmark']}] {entry['name']}: {speedups} "
+                f"(outputs match: {entry['checks']['outputs_match']})",
+                file=stream,
+            )
+    return training_path, inference_path

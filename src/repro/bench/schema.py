@@ -1,0 +1,98 @@
+"""Structural schema for the ``BENCH_*.json`` artifacts.
+
+Hand-rolled (no jsonschema dependency): CI and tests call
+:func:`validate_bench_payload` to guarantee the files every PR writes stay
+machine-readable and comparable across the repo's history.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+SCHEMA_VERSION = 1
+
+#: Timing stanzas required per workload, by benchmark kind.
+_REQUIRED_TIMINGS = {
+    "inference": ("encode_reference", "encode_fused", "predict_reference", "predict_fused"),
+    "training": ("train_reference", "train_lookup"),
+}
+_REQUIRED_SPEEDUPS = {
+    "inference": ("encode", "predict"),
+    "training": ("train",),
+}
+_TIMING_FIELDS = ("seconds_median", "seconds_best", "samples_per_second", "repeats")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"bench schema violation: {message}")
+
+
+def _check_timing(name: str, stanza: object) -> None:
+    _require(isinstance(stanza, dict), f"timing {name!r} must be an object")
+    for field in _TIMING_FIELDS:
+        _require(field in stanza, f"timing {name!r} missing {field!r}")
+        _require(
+            isinstance(stanza[field], Real) and not isinstance(stanza[field], bool),
+            f"timing {name!r} field {field!r} must be a number",
+        )
+    _require(stanza["seconds_median"] >= 0, f"timing {name!r} has negative time")
+
+
+def validate_bench_payload(payload: object, benchmark: str | None = None) -> dict:
+    """Validate a loaded ``BENCH_*.json`` payload; returns it on success.
+
+    Raises ``ValueError`` describing the first violation found.
+    """
+    _require(isinstance(payload, dict), "payload must be a JSON object")
+    _require(
+        payload.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version must be {SCHEMA_VERSION}",
+    )
+    kind = payload.get("benchmark")
+    _require(kind in _REQUIRED_TIMINGS, f"benchmark must be one of {sorted(_REQUIRED_TIMINGS)}")
+    if benchmark is not None:
+        _require(kind == benchmark, f"expected benchmark {benchmark!r}, found {kind!r}")
+    _require(isinstance(payload.get("profile"), str), "profile must be a string")
+    environment = payload.get("environment")
+    _require(isinstance(environment, dict), "environment must be an object")
+    for field in ("python", "numpy", "platform"):
+        _require(isinstance(environment.get(field), str), f"environment.{field} must be a string")
+
+    workloads = payload.get("workloads")
+    _require(isinstance(workloads, list) and workloads, "workloads must be a non-empty list")
+    for entry in workloads:
+        _require(isinstance(entry, dict), "each workload must be an object")
+        _require(isinstance(entry.get("name"), str), "workload missing name")
+        label = entry["name"]
+        config = entry.get("config")
+        _require(isinstance(config, dict), f"workload {label!r} missing config object")
+        for field in ("dim", "levels", "chunk_size", "n_features", "n_classes", "seed"):
+            _require(
+                isinstance(config.get(field), int),
+                f"workload {label!r} config.{field} must be an int",
+            )
+        timings = entry.get("timings")
+        _require(isinstance(timings, dict), f"workload {label!r} missing timings")
+        for name in _REQUIRED_TIMINGS[kind]:
+            _require(name in timings, f"workload {label!r} missing timing {name!r}")
+            _check_timing(f"{label}.{name}", timings[name])
+        speedups = entry.get("speedups")
+        _require(isinstance(speedups, dict), f"workload {label!r} missing speedups")
+        for name in _REQUIRED_SPEEDUPS[kind]:
+            value = speedups.get(name)
+            _require(
+                isinstance(value, Real) and not isinstance(value, bool) and value > 0,
+                f"workload {label!r} speedups.{name} must be a positive number",
+            )
+        checks = entry.get("checks")
+        _require(isinstance(checks, dict), f"workload {label!r} missing checks")
+        _require(
+            checks.get("outputs_match") is True,
+            f"workload {label!r} fused/reference outputs diverged",
+        )
+        _require(
+            isinstance(checks.get("outputs_sha256"), str),
+            f"workload {label!r} missing outputs_sha256 checksum",
+        )
+    return payload

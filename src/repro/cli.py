@@ -3,6 +3,7 @@
     python -m repro train --application activity --out model.npz
     python -m repro evaluate --model model.npz --application activity
     python -m repro experiment fig04 table01 ...
+    python -m repro bench --profile full
     python -m repro list
 
 Training/evaluation run on the built-in synthetic stand-ins or on a
@@ -93,9 +94,29 @@ def _cmd_experiment(args) -> int:
     return status
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import write_bench_files
+
+    training_path, inference_path = write_bench_files(
+        args.profile, out_dir=args.out_dir, repeats=args.repeats
+    )
+    print(f"wrote {training_path} and {inference_path}")
+    return 0
+
+
 def _cmd_list(args) -> int:
+    from repro.bench.workloads import profile_names
+
     print("applications:", ", ".join(application_names()))
     print("experiments: ", ", ".join(_EXPERIMENTS))
+    print("bench profiles:", ", ".join(profile_names()))
     return 0
 
 
@@ -127,6 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run paper experiments")
     experiment.add_argument("names", nargs="+", metavar="NAME")
     experiment.set_defaults(func=_cmd_experiment)
+
+    bench = sub.add_parser(
+        "bench", help="time fused vs reference kernels, write BENCH_*.json"
+    )
+    bench.add_argument(
+        "--profile",
+        default="full",
+        choices=["full", "smoke"],
+        help="workload set: 'full' is the perf gate, 'smoke' a CI-sized run",
+    )
+    bench.add_argument("--out-dir", default=".", help="directory for the BENCH_*.json files")
+    bench.add_argument(
+        "--repeats", type=_positive_int, default=3, help="timed runs per stage (>= 1)"
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     lister = sub.add_parser("list", help="list applications and experiments")
     lister.set_defaults(func=_cmd_list)

@@ -75,11 +75,19 @@ def xor_bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return ~(np.asarray(a, dtype=np.uint64) ^ np.asarray(b, dtype=np.uint64))
 
 
+#: 256-entry byte-popcount LUT, built once at import (the fallback when the
+#: hardware popcount ufunc below is unavailable).
+_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+#: ``np.bitwise_count`` (NumPy ≥ 2) lowers to the POPCNT instruction.
+_BITWISE_COUNT = getattr(np, "bitwise_count", None)
+
+
 def _popcount(words: np.ndarray) -> np.ndarray:
     """Per-row population count of ``(…, W)`` uint64 words."""
-    as_bytes = words.view(np.uint8)
-    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
-    return table[as_bytes].sum(axis=-1, dtype=np.int64)
+    if _BITWISE_COUNT is not None:
+        return _BITWISE_COUNT(words).sum(axis=-1, dtype=np.int64)
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    return _POPCOUNT_LUT[as_bytes].sum(axis=-1, dtype=np.int64)
 
 
 def hamming_matches(query: np.ndarray, keys: np.ndarray, dim: int) -> np.ndarray:
@@ -92,15 +100,14 @@ def hamming_matches(query: np.ndarray, keys: np.ndarray, dim: int) -> np.ndarray
     query = np.atleast_2d(np.asarray(query, dtype=np.uint64))
     keys = np.atleast_2d(np.asarray(keys, dtype=np.uint64))
     diff = query[:, np.newaxis, :] ^ keys[np.newaxis, :, :]
-    # Mask padding in the last word so it never counts as agreement.
+    # Mask padding in the last word so it never counts as agreement; the
+    # XOR result is a fresh array, so masking in place is safe and the
+    # popcount runs exactly once either way.
     pad = _n_words(dim) * _WORD_BITS - dim
-    mismatches = _popcount(diff)
     if pad:
         last_mask = np.uint64((1 << (_WORD_BITS - pad)) - 1)
-        masked_diff = diff.copy()
-        masked_diff[..., -1] &= last_mask
-        mismatches = _popcount(masked_diff)
-    return dim - mismatches
+        diff[..., -1] &= last_mask
+    return dim - _popcount(diff)
 
 
 class PackedAssociativeMemory:

@@ -25,11 +25,29 @@ class ClassModel:
         Hypervector dimensionality ``D``.
     """
 
+    #: Class-level default so instances restored without ``__init__`` (see
+    #: :mod:`repro.lookhd.persistence`) still expose a version.
+    _version = 0
+
     def __init__(self, n_classes: int, dim: int):
         self.n_classes = check_positive_int(n_classes, "n_classes")
         self.dim = check_positive_int(dim, "dim")
         self.class_vectors = np.zeros((self.n_classes, self.dim), dtype=ACCUM_DTYPE)
         self._normalized: np.ndarray | None = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every training update.
+
+        Lets derived-table caches (e.g. the fused score tables in
+        :mod:`repro.lookhd.inference`) detect staleness cheaply.
+        """
+        return self._version
+
+    def mark_dirty(self) -> None:
+        """Invalidate cached views after a direct ``class_vectors`` mutation."""
+        self._normalized = None
+        self._version = self._version + 1
 
     # -- training updates ---------------------------------------------------
 
@@ -37,7 +55,7 @@ class ClassModel:
         """Add an encoded hypervector into its class (initial training)."""
         self._check_class(class_index)
         self.class_vectors[class_index] += np.asarray(hypervector, dtype=ACCUM_DTYPE)
-        self._normalized = None
+        self.mark_dirty()
 
     def accumulate_batch(self, labels: np.ndarray, hypervectors: np.ndarray) -> None:
         """Add a batch of encoded hypervectors grouped by label."""
@@ -46,7 +64,7 @@ class ClassModel:
         if labels.shape[0] != hypervectors.shape[0]:
             raise ValueError("labels and hypervectors must align")
         np.add.at(self.class_vectors, labels, hypervectors)
-        self._normalized = None
+        self.mark_dirty()
 
     def retrain_update(
         self, correct: int, wrong: int, hypervector: np.ndarray
@@ -61,7 +79,7 @@ class ClassModel:
         hv = np.asarray(hypervector, dtype=ACCUM_DTYPE)
         self.class_vectors[correct] += hv
         self.class_vectors[wrong] -= hv
-        self._normalized = None
+        self.mark_dirty()
 
     # -- inference ------------------------------------------------------------
 

@@ -13,6 +13,9 @@ The paper's primary contribution (Sections III–IV):
   at the end (Fig. 6);
 * :mod:`repro.lookhd.compression` — compress ``k`` class hypervectors into
   one (or a few) via random bipolar keys (Eq. 4), with class decorrelation;
+* :mod:`repro.lookhd.inference` — fused lookup-domain inference: per-model
+  score tables that classify in ``O(m·k)`` gathers with no ``D`` anywhere
+  in the per-query cost;
 * :mod:`repro.lookhd.noise` — signal/noise analysis of compression (Eq. 5);
 * :mod:`repro.lookhd.retraining` — perceptron retraining directly on the
   compressed model;
@@ -24,6 +27,7 @@ from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
 from repro.lookhd.compression import CompressedModel, decorrelate_classes
 from repro.lookhd.counters import ChunkCounters
 from repro.lookhd.encoder import LookupEncoder
+from repro.lookhd.inference import FusedInferenceEngine
 from repro.lookhd.lookup_table import ChunkLookupTable
 from repro.lookhd.noise import compression_noise_report
 from repro.lookhd.online import OnlineLookHD
@@ -34,6 +38,7 @@ __all__ = [
     "ChunkLayout",
     "ChunkLookupTable",
     "LookupEncoder",
+    "FusedInferenceEngine",
     "ChunkCounters",
     "LookHDTrainer",
     "CompressedModel",

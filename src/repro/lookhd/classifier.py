@@ -25,6 +25,7 @@ from repro.hdc.model import ClassModel
 from repro.lookhd.chunking import ChunkLayout
 from repro.lookhd.compression import DEFAULT_GROUP_SIZE, CompressedModel
 from repro.lookhd.encoder import LookupEncoder
+from repro.lookhd.inference import DEFAULT_SCORE_TABLE_BUDGET_BYTES, FusedInferenceEngine
 from repro.lookhd.lookup_table import ChunkLookupTable
 from repro.lookhd.retraining import RetrainTrace, retrain_compressed
 from repro.lookhd.trainer import LookHDTrainer
@@ -58,6 +59,13 @@ class LookHDConfig:
         Remove the common class component before compression (Sec. IV-C).
     seed:
         Master seed; derives level memory, position memory, and keys.
+    fused_inference:
+        Serve ``predict``/``score`` from the lookup-domain score table
+        (:mod:`repro.lookhd.inference`) when it fits the budget; argmax
+        matches the hypervector path, scores match to float rounding.
+    score_table_budget_bytes:
+        Memory ceiling for that score table; above it inference silently
+        falls back to the hypervector-domain path.
     """
 
     dim: int = 2_000
@@ -67,6 +75,8 @@ class LookHDConfig:
     group_size: int | None = DEFAULT_GROUP_SIZE
     decorrelate: bool = True
     seed: int = 0
+    fused_inference: bool = True
+    score_table_budget_bytes: int = DEFAULT_SCORE_TABLE_BUDGET_BYTES
 
     def __post_init__(self):
         check_positive_int(self.dim, "dim")
@@ -104,6 +114,7 @@ class LookHDClassifier:
         self.class_model: ClassModel | None = None
         self.compressed_model: CompressedModel | None = None
         self.n_classes: int | None = None
+        self._fused_engine: FusedInferenceEngine | None = None
 
     # -- training ------------------------------------------------------------
 
@@ -221,14 +232,63 @@ class LookHDClassifier:
             raise RuntimeError("classifier must be fitted before encoding")
         return self.encoder.encode(features)
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        """Classify raw feature vectors (compressed search when enabled)."""
-        encoded = self.encode(features)
-        if self.compressed_model is not None:
-            return self.compressed_model.predict(encoded)
-        if self.class_model is None:
+    def _inference_model(self) -> CompressedModel | ClassModel:
+        model = self.compressed_model if self.compressed_model is not None else self.class_model
+        if model is None or self.encoder is None:
             raise RuntimeError("classifier must be fitted before predicting")
-        return self.class_model.predict(encoded)
+        return model
+
+    def fused_engine(self) -> FusedInferenceEngine:
+        """The lazily built lookup-domain inference engine for this model.
+
+        Rebuilt automatically when ``fit`` swaps the model out; the engine
+        itself refreshes its score table when the model is retrained.
+        """
+        model = self._inference_model()
+        engine = self._fused_engine
+        if engine is None or engine.model is not model or engine.encoder is not self.encoder:
+            engine = FusedInferenceEngine(
+                self.encoder, model, budget_bytes=self.config.score_table_budget_bytes
+            )
+            self._fused_engine = engine
+        return engine
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Classify raw feature vectors (compressed search when enabled).
+
+        Served from the fused lookup-domain score table when
+        ``config.fused_inference`` is on and the table fits its budget;
+        otherwise encodes in memory-bounded batches and searches in the
+        hypervector domain.  Both paths agree on every prediction.
+        """
+        model = self._inference_model()
+        if self.config.fused_inference:
+            engine = self.fused_engine()
+            if engine.enabled:
+                return engine.predict(features)
+        single = np.asarray(features).ndim == 1
+        encoded = (
+            self.encoder.encode(features)
+            if single
+            else self.encoder.encode_many(check_2d(features, "features"))
+        )
+        return model.predict(encoded)
+
+    def predict_reference(self, features: np.ndarray) -> np.ndarray:
+        """Classify via the unfused hypervector-domain reference path.
+
+        Materialises the full ``(N, m, D)`` Eq. 3 intermediate and runs the
+        group-loop Eq. 4/5 search — the pre-optimisation pipeline, kept as
+        the equivalence oracle and benchmark baseline for the fused path.
+        """
+        model = self._inference_model()
+        encoded = self.encoder.encode_reference(features)
+        if isinstance(model, CompressedModel):
+            scores = model.scores_reference(encoded)
+            if scores.ndim == 1:
+                return int(np.argmax(scores))
+            return np.argmax(scores, axis=1)
+        return model.predict(encoded)
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy."""

@@ -76,6 +76,12 @@ class CompressedModel:
         Seed for the key hypervectors ``P'``.
     """
 
+    # Class-level defaults so artifacts restored via ``__new__`` (see
+    # :mod:`repro.lookhd.persistence`) behave like freshly built models.
+    _version = 0
+    _search_cache: np.ndarray | None = None
+    _search_cache_version = -1
+
     def __init__(
         self,
         class_model: ClassModel,
@@ -135,14 +141,67 @@ class CompressedModel:
         for class_index in range(self.n_classes):
             group = class_index // self.group_size
             self.compressed[group] += self.keys[class_index] * prepared[class_index]
+        self.mark_dirty()
+
+    # -- change tracking -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation of the compressed state.
+
+        Consumers that cache derived tables (the search matrix below, the
+        score tables of :mod:`repro.lookhd.inference`) compare against it to
+        detect staleness.
+        """
+        return self._version
+
+    def mark_dirty(self) -> None:
+        """Invalidate caches derived from ``compressed`` / ``prepared_classes``.
+
+        Called automatically by every mutator here; call it manually after
+        assigning those arrays directly (as retraining's best-state restore
+        does).
+        """
+        self._version = self._version + 1
 
     # -- inference -------------------------------------------------------------
+
+    @property
+    def search_matrix(self) -> np.ndarray:
+        """``(k, D)`` matrix ``W_j = P'_j ⊙ C_{group(j)}`` (cached).
+
+        Since the keys are ±1, ``H · W_j`` equals the Eq. 4/5 score
+        ``(H ⊙ C_{group(j)}) · P'_j`` exactly (sign flips are lossless in
+        IEEE), so the whole search collapses to one matmul.
+        """
+        if self._search_cache is None or self._search_cache_version != self._version:
+            groups = np.arange(self.n_classes) // self.group_size
+            self._search_cache = self.keys.vectors.astype(np.float64) * self.compressed[groups]
+            self._search_cache_version = self._version
+        return self._search_cache
 
     def scores(self, queries: np.ndarray) -> np.ndarray:
         """Per-class scores for ``(D,)`` or ``(N, D)`` queries.
 
-        Implements the Eq. 4/5 search: one elementwise product per group,
-        then per-class sign-flipped sums via the keys.
+        Implements the Eq. 4/5 search as ``Q @ W.T`` with the cached
+        :attr:`search_matrix` — one fused matmul instead of a Python loop
+        over groups.
+        """
+        queries = np.asarray(queries, dtype=np.float64)
+        single = queries.ndim == 1
+        if single:
+            queries = queries[np.newaxis, :]
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"queries must have dimension {self.dim}")
+        out = queries @ self.search_matrix.T
+        return out[0] if single else out
+
+    def scores_reference(self, queries: np.ndarray) -> np.ndarray:
+        """Group-loop formulation of :meth:`scores` (Eq. 4/5 literally).
+
+        One elementwise product per group, then per-class sign-flipped sums
+        via the keys — the multiplication count the paper reports.  Kept as
+        the benchmark baseline and equivalence oracle.
         """
         queries = np.asarray(queries, dtype=np.float64)
         single = queries.ndim == 1
@@ -200,6 +259,7 @@ class CompressedModel:
         self.prepared_classes[wrong] -= update
         self.compressed[correct // self.group_size] += self.keys[correct] * update
         self.compressed[wrong // self.group_size] -= self.keys[wrong] * update
+        self.mark_dirty()
 
     # -- reporting ---------------------------------------------------------------
 

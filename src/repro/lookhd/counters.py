@@ -54,10 +54,13 @@ class ChunkCounters:
             )
         if addresses.size and (addresses.min() < 0 or addresses.max() >= self.n_rows):
             raise ValueError(f"addresses must be in [0, {self.n_rows})")
-        for chunk in range(self.n_chunks):
-            self.counts[chunk] += np.bincount(
-                addresses[:, chunk], minlength=self.n_rows
-            )
+        # One bincount over (chunk, address) pairs flattened to
+        # chunk * n_rows + address — the whole batch in a single C pass.
+        offsets = np.arange(self.n_chunks, dtype=np.int64) * self.n_rows
+        flat = (addresses.astype(np.int64) + offsets[np.newaxis, :]).ravel()
+        self.counts += np.bincount(
+            flat, minlength=self.n_chunks * self.n_rows
+        ).reshape(self.n_chunks, self.n_rows)
         self.n_samples += addresses.shape[0]
 
     def materialize(self, table: np.ndarray, positions: np.ndarray) -> np.ndarray:

@@ -10,6 +10,20 @@ The position binding preserves chunk order; without it, permuting whole
 chunks of the input would encode to the same hypervector (the "naive
 aggregation" the paper rejects, kept available here for the ablation
 bench).
+
+Fast path
+---------
+Because binding with a fixed position vector is itself a table transform,
+the per-sample multiply can be hoisted out of the batch loop entirely: the
+*pre-bound* table ``B[i] = P_i ⊙ T`` (shape ``(m, q^r, D)``) is built once,
+lazily, under a configurable memory budget, after which encoding is a pure
+gather + sum — no elementwise multiply per sample and no ``(N, m, D)``
+intermediate.  When the pre-bound table exceeds the budget the encoder
+falls back to a chunk-at-a-time loop that binds on the fly but still never
+materialises the ``(N, m, D)`` tensor.  Both paths are bit-identical to
+the reference Eq. 3 implementation (integer arithmetic, addition
+reordering only), which is kept as :meth:`LookupEncoder.encode_reference`
+for equivalence tests and benchmarking.
 """
 
 from __future__ import annotations
@@ -24,6 +38,13 @@ from repro.quantization.base import Quantizer
 from repro.quantization.codebook import chunk_addresses
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_2d
+
+#: Default ceiling for the pre-bound table ``B = P ⊙ T``; above this the
+#: encoder silently falls back to binding on the fly (still fused).
+DEFAULT_PREBIND_BUDGET_BYTES = 256 * 2**20
+
+#: Sentinel distinguishing "not built yet" from "over budget" (None).
+_UNSET = object()
 
 
 class LookupEncoder:
@@ -42,6 +63,9 @@ class LookupEncoder:
     bind_positions:
         When ``False``, chunks are aggregated by plain addition (the naive
         scheme of Sec. III-A); used only for ablation.
+    prebind_budget_bytes:
+        Memory ceiling for the lazily built pre-bound table ``B = P ⊙ T``.
+        Set to 0 to disable pre-binding entirely.
     """
 
     def __init__(
@@ -51,6 +75,7 @@ class LookupEncoder:
         layout: ChunkLayout,
         seed: int | np.random.Generator | None = 0,
         bind_positions: bool = True,
+        prebind_budget_bytes: int = DEFAULT_PREBIND_BUDGET_BYTES,
     ):
         if quantizer.levels != lookup_table.q:
             raise ValueError("quantizer and lookup table disagree on q")
@@ -61,9 +86,11 @@ class LookupEncoder:
         self.layout = layout
         self.dim = lookup_table.dim
         self.bind_positions = bind_positions
+        self.prebind_budget_bytes = int(prebind_budget_bytes)
         self.position_memory = RandomItemMemory(
             layout.n_chunks, self.dim, rng=derive_rng(seed, "positions")
         )
+        self._prebound = _UNSET
 
     @property
     def n_features(self) -> int:
@@ -80,8 +107,76 @@ class LookupEncoder:
         chunks = self.layout.split_levels(levels)  # (N, m, r)
         return chunk_addresses(chunks, self.quantizer.levels)
 
+    # -- pre-bound table -------------------------------------------------------
+
+    def prebound_bytes_needed(self) -> int:
+        """Footprint of the full ``(m, q^r, D)`` pre-bound table."""
+        return (
+            self.layout.n_chunks
+            * self.lookup_table.n_rows
+            * self.dim
+            * self.lookup_table.table.itemsize
+        )
+
+    @property
+    def prebound_table(self) -> np.ndarray | None:
+        """The pre-bound table ``B[i] = P_i ⊙ T``, or ``None`` if over budget.
+
+        Built lazily on first access; ``(m, q^r, D)`` in the lookup table's
+        dtype.  Position binding is a ±1 multiply, so the dtype never widens.
+        """
+        if self._prebound is _UNSET:
+            if (
+                not self.bind_positions
+                or self.prebound_bytes_needed() > self.prebind_budget_bytes
+            ):
+                self._prebound = None
+            else:
+                table = self.lookup_table.table
+                self._prebound = (
+                    table[np.newaxis, :, :]
+                    * self.position_memory.vectors[:, np.newaxis, :].astype(table.dtype)
+                )
+        return self._prebound
+
+    # -- encoding --------------------------------------------------------------
+
     def encode(self, features: np.ndarray) -> np.ndarray:
         """Encode one sample or a batch to ``(D,)`` / ``(N, D)`` hypervectors."""
+        single = np.asarray(features).ndim == 1
+        encoded = self.encode_addresses(self.addresses(features))
+        return encoded[0] if single else encoded
+
+    def encode_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Encode pre-computed ``(N, m)`` chunk addresses to ``(N, D)``.
+
+        Accumulates one chunk position at a time — a gather + add per chunk
+        against the pre-bound table when it fits the budget, otherwise a
+        gather + bind + add against the raw table.  Either way the peak
+        intermediate is ``(N, D)``, never ``(N, m, D)``.
+        """
+        addresses = np.asarray(addresses)
+        encoded = np.zeros((addresses.shape[0], self.dim), dtype=ACCUM_DTYPE)
+        prebound = self.prebound_table
+        if prebound is not None:
+            for chunk in range(self.layout.n_chunks):
+                encoded += prebound[chunk][addresses[:, chunk]]
+            return encoded
+        table = self.lookup_table.table
+        positions = self.position_memory.vectors
+        for chunk in range(self.layout.n_chunks):
+            chunk_hvs = table[addresses[:, chunk]].astype(ACCUM_DTYPE)
+            if self.bind_positions:
+                chunk_hvs *= positions[chunk]
+            encoded += chunk_hvs
+        return encoded
+
+    def encode_reference(self, features: np.ndarray) -> np.ndarray:
+        """Reference Eq. 3 path: materialises the ``(N, m, D)`` intermediate.
+
+        Kept verbatim for equivalence tests and as the benchmark baseline;
+        bit-identical to :meth:`encode` (integer addition commutes).
+        """
         single = np.asarray(features).ndim == 1
         addresses = self.addresses(features)  # (N, m)
         chunk_hvs = self.lookup_table.lookup(addresses).astype(ACCUM_DTYPE)  # (N, m, D)
@@ -91,10 +186,14 @@ class LookupEncoder:
         return encoded[0] if single else encoded
 
     def encode_many(self, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Encode a large dataset in memory-bounded batches."""
+        """Encode a large dataset in memory-bounded batches.
+
+        The output is preallocated once and filled in place, so peak memory
+        stays at one output array plus one ``(batch_size, D)`` working set.
+        """
         batch = check_2d(features, "features")
-        parts = [
-            self.encode(batch[start : start + batch_size])
-            for start in range(0, batch.shape[0], batch_size)
-        ]
-        return np.vstack(parts)
+        encoded = np.empty((batch.shape[0], self.dim), dtype=ACCUM_DTYPE)
+        for start in range(0, batch.shape[0], batch_size):
+            stop = min(start + batch_size, batch.shape[0])
+            encoded[start:stop] = self.encode_addresses(self.addresses(batch[start:stop]))
+        return encoded

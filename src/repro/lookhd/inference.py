@@ -1,0 +1,170 @@
+"""Fused lookup-domain inference: classify without ever touching ``D``.
+
+The encoding (Eq. 3) and the associative search are both linear in the
+chunk hypervectors:
+
+    score_j(H) = H · W_j = Σ_i (P_i ⊙ T[a_i]) · W_j
+
+where ``W_j`` is the class-``j`` search vector (the normalised class
+hypervector for a :class:`~repro.hdc.model.ClassModel`, or
+``P'_j ⊙ C_{group(j)}`` for a :class:`~repro.lookhd.compression.CompressedModel`).
+Every inner product on the right depends only on the *chunk address*
+``a_i``, of which there are ``q^r`` per position — so the whole pipeline
+factorises into a **score table**
+
+    S[i, a, j] = (P_i ⊙ T[a]) · W_j        # shape (m, q^r, k)
+
+precomputed once per fitted model.  A query is then scored with ``m``
+gathers of ``k``-vectors and a sum: **no hypervector is ever
+materialised and the dimensionality ``D`` appears nowhere in the
+per-query cost** (``O(m·k)`` vs ``O(m·D + k·D)``).  For the paper's
+efficiency configuration (``D=2000, q^r=1024, m≈20, k≤26``) the table is a
+few MB — the same trade the paper makes for training (Fig. 6), applied to
+inference.
+
+Staleness: retraining mutates the model after the table is built.  The
+engine records the model's ``version`` counter at build time and
+transparently rebuilds when it changes, so
+:meth:`~repro.lookhd.classifier.LookHDClassifier.fit` →
+``retrain_update`` → ``predict`` sequences stay exact without manual
+cache management.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hdc.model import ClassModel
+from repro.lookhd.compression import CompressedModel
+from repro.lookhd.encoder import LookupEncoder
+
+#: Default ceiling for the ``(m, q^r, k)`` float64 score table.  Generous:
+#: the paper-scale table is a few MB, so hitting this signals an unusual
+#: geometry where the hypervector-domain path is the better choice anyway.
+DEFAULT_SCORE_TABLE_BUDGET_BYTES = 128 * 2**20
+
+
+class FusedInferenceEngine:
+    """Score-table inference over a fitted encoder + model pair.
+
+    Parameters
+    ----------
+    encoder:
+        Fitted :class:`~repro.lookhd.encoder.LookupEncoder`; supplies the
+        chunk geometry, lookup table, and position hypervectors.
+    model:
+        A :class:`~repro.lookhd.compression.CompressedModel` or
+        :class:`~repro.hdc.model.ClassModel` to search against.
+    budget_bytes:
+        Memory ceiling for the score table.  When the table would exceed
+        it, :attr:`enabled` is ``False`` and callers should fall back to
+        the hypervector-domain path.
+    """
+
+    def __init__(
+        self,
+        encoder: LookupEncoder,
+        model: CompressedModel | ClassModel,
+        budget_bytes: int = DEFAULT_SCORE_TABLE_BUDGET_BYTES,
+    ):
+        if not isinstance(model, (CompressedModel, ClassModel)):
+            raise TypeError(f"unsupported model type {type(model).__name__}")
+        if encoder.dim != model.dim:
+            raise ValueError(
+                f"encoder dimension {encoder.dim} != model dimension {model.dim}"
+            )
+        self.encoder = encoder
+        self.model = model
+        self.budget_bytes = int(budget_bytes)
+        self.n_classes = model.n_classes
+        self._score_table: np.ndarray | None = None
+        self._built_version: int | None = None
+
+    # -- table management ------------------------------------------------------
+
+    def table_bytes_needed(self) -> int:
+        """Footprint of the ``(m, q^r, k)`` float64 score table."""
+        return (
+            self.encoder.layout.n_chunks
+            * self.encoder.lookup_table.n_rows
+            * self.n_classes
+            * np.dtype(np.float64).itemsize
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the score table fits the memory budget."""
+        return self.table_bytes_needed() <= self.budget_bytes
+
+    def _search_vectors(self) -> np.ndarray:
+        """``(k, D)`` float64 class search matrix ``W``."""
+        if isinstance(self.model, CompressedModel):
+            return self.model.search_matrix
+        return self.model.normalized.astype(np.float64, copy=False)
+
+    @property
+    def score_table(self) -> np.ndarray | None:
+        """The ``(m, q^r, k)`` score table, rebuilt when the model changed."""
+        if not self.enabled:
+            return None
+        if self._score_table is None or self._built_version != self.model.version:
+            self._score_table = self._build()
+            self._built_version = self.model.version
+        return self._score_table
+
+    def _build(self) -> np.ndarray:
+        table = self.encoder.lookup_table.table.astype(np.float64)  # (q^r, D)
+        positions = self.encoder.position_memory.vectors  # (m, D)
+        search = self._search_vectors().T  # (D, k)
+        n_chunks = self.encoder.layout.n_chunks
+        scores = np.empty(
+            (n_chunks, self.encoder.lookup_table.n_rows, self.n_classes),
+            dtype=np.float64,
+        )
+        if not self.encoder.bind_positions:
+            # Naive aggregation: every position shares the unbound table.
+            scores[:] = (table @ search)[np.newaxis]
+            return scores
+        for chunk in range(n_chunks):
+            # (q^r, D) ⊙ P_i  @  (D, k)  ->  (q^r, k): one GEMM per chunk
+            # keeps the bound-table intermediate at (q^r, D).
+            scores[chunk] = (table * positions[chunk].astype(np.float64)) @ search
+        return scores
+
+    # -- inference -------------------------------------------------------------
+
+    def scores_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Per-class scores for pre-computed ``(N, m)`` chunk addresses."""
+        table = self.score_table
+        if table is None:
+            raise RuntimeError(
+                "score table exceeds the memory budget; use the hypervector path"
+            )
+        addresses = np.asarray(addresses)
+        out = np.zeros((addresses.shape[0], self.n_classes), dtype=np.float64)
+        for chunk in range(addresses.shape[1]):
+            out += table[chunk][addresses[:, chunk]]
+        return out
+
+    def scores(self, features: np.ndarray) -> np.ndarray:
+        """Per-class scores for raw ``(n,)`` / ``(N, n)`` feature vectors.
+
+        Matches the hypervector-domain scores to float rounding (the only
+        difference is summation order), with identical argmax in practice.
+        """
+        single = np.asarray(features).ndim == 1
+        out = self.scores_addresses(self.encoder.addresses(features))
+        return out[0] if single else out
+
+    def predict(self, features: np.ndarray) -> np.ndarray | int:
+        """Argmax class per query; scalar ``int`` for a single sample."""
+        scores = self.scores(features)
+        if scores.ndim == 1:
+            return int(np.argmax(scores))
+        return np.argmax(scores, axis=1)
+
+    # -- reporting -------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Actual bytes held by the built score table (0 before first use)."""
+        return 0 if self._score_table is None else int(self._score_table.nbytes)

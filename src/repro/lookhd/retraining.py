@@ -111,4 +111,5 @@ def retrain_compressed(
             break
     if iterations > 0 and best_state is not None and _selection_accuracy() < best_accuracy:
         model.compressed, model.prepared_classes = best_state
+        model.mark_dirty()
     return trace

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.hdc.ops import bind, bundle, permute, random_bipolar
+from repro.lookhd.counters import ChunkCounters
 from repro.quantization.codebook import address_to_levels, chunk_addresses
 from repro.quantization.equalized import EqualizedQuantizer
 from repro.quantization.linear import LinearQuantizer
@@ -162,3 +163,42 @@ class TestCompressionProperties:
         queries = rng.normal(size=(5, 256))
         exact = queries @ compressed.prepared_classes.T
         assert np.allclose(compressed.scores(queries), exact)
+
+
+class TestCounterProperties:
+    @given(
+        seed=seeds,
+        n_chunks=st.integers(1, 6),
+        n_rows=st.integers(1, 32),
+        n_samples=st.integers(0, 40),
+        batches=st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vectorised_observe_matches_per_chunk_loop(
+        self, seed, n_chunks, n_rows, n_samples, batches
+    ):
+        # The single-bincount observe must agree with the obvious
+        # chunk-at-a-time formulation for any address stream.
+        rng = np.random.default_rng(seed)
+        vectorised = ChunkCounters(n_chunks, n_rows)
+        expected = np.zeros((n_chunks, n_rows), dtype=np.int64)
+        total = 0
+        for _ in range(batches):
+            addresses = rng.integers(0, n_rows, size=(n_samples, n_chunks))
+            vectorised.observe(addresses)
+            for chunk in range(n_chunks):
+                expected[chunk] += np.bincount(addresses[:, chunk], minlength=n_rows)
+            total += n_samples
+        assert np.array_equal(vectorised.counts, expected)
+        assert vectorised.n_samples == total
+
+    @given(seed=seeds, n_rows=st.integers(2, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_single_sample_observe_equals_batch_of_one(self, seed, n_rows):
+        rng = np.random.default_rng(seed)
+        addresses = rng.integers(0, n_rows, size=4)
+        one_d = ChunkCounters(4, n_rows)
+        one_d.observe(addresses)
+        two_d = ChunkCounters(4, n_rows)
+        two_d.observe(addresses[np.newaxis, :])
+        assert np.array_equal(one_d.counts, two_d.counts)

@@ -82,6 +82,10 @@ def robustness_curve(
         for index, fraction in enumerate(flip_fractions):
             point_rng = derive_rng(rng, f"robustness-{index}")
             comp.compressed = bit_flip_model(clean, fraction, rng=point_rng)
+            # Swapping the array behind the model's back leaves the cached
+            # search matrix (and any fused score table keyed on it) stale —
+            # without this, every point would score the *clean* model.
+            comp.mark_dirty()
             predictions = np.atleast_1d(clf.predict(features))
             points.append(
                 RobustnessPoint(
@@ -91,4 +95,5 @@ def robustness_curve(
             )
     finally:
         comp.compressed = clean
+        comp.mark_dirty()
     return points

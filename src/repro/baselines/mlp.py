@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_2d, check_positive_int
+from repro.utils.validation import check_2d, check_finite, check_labels, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -66,10 +66,8 @@ class MLPClassifier:
     def fit(self, features: np.ndarray, labels: np.ndarray) -> list[float]:
         """Train with SGD; returns the per-epoch training loss curve."""
         cfg = self.config
-        batch = check_2d(features, "features").astype(np.float64)
-        labels = np.asarray(labels)
-        if labels.shape[0] != batch.shape[0]:
-            raise ValueError("labels must align with features")
+        batch = check_finite(check_2d(features, "features"), "features").astype(np.float64)
+        labels = check_labels(labels, "labels", n_samples=batch.shape[0])
         self.n_classes = int(labels.max()) + 1
         self._mean = batch.mean(axis=0)
         self._std = batch.std(axis=0)
@@ -117,7 +115,7 @@ class MLPClassifier:
         """Class probabilities for raw features."""
         if self.w1 is None:
             raise RuntimeError("classifier must be fitted before predicting")
-        batch = check_2d(features, "features").astype(np.float64)
+        batch = check_finite(check_2d(features, "features"), "features").astype(np.float64)
         data = (batch - self._mean) / self._std
         hidden = np.maximum(data @ self.w1 + self.b1, 0.0)
         return _softmax(hidden @ self.w2 + self.b2)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.validation import check_2d
+from repro.utils.validation import check_2d, check_finite, check_labels
 
 
 class NearestCentroidClassifier:
@@ -19,10 +19,8 @@ class NearestCentroidClassifier:
         self.centroids: np.ndarray | None = None
 
     def fit(self, features: np.ndarray, labels: np.ndarray) -> "NearestCentroidClassifier":
-        features = check_2d(features, "features")
-        labels = np.asarray(labels)
-        if labels.shape[0] != features.shape[0]:
-            raise ValueError("labels must align with features")
+        features = check_finite(check_2d(features, "features"), "features")
+        labels = check_labels(labels, "labels", n_samples=features.shape[0])
         n_classes = int(labels.max()) + 1
         centroids = np.zeros((n_classes, features.shape[1]))
         for class_index in range(n_classes):
@@ -37,7 +35,7 @@ class NearestCentroidClassifier:
         if self.centroids is None:
             raise RuntimeError("classifier must be fitted before predicting")
         single = np.asarray(features).ndim == 1
-        batch = check_2d(features, "features")
+        batch = check_finite(check_2d(features, "features"), "features")
         distances = (
             (batch[:, np.newaxis, :] - self.centroids[np.newaxis, :, :]) ** 2
         ).sum(axis=2)

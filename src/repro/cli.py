@@ -4,6 +4,7 @@
     python -m repro evaluate --model model.npz --application activity
     python -m repro experiment fig04 table01 ...
     python -m repro bench --profile full
+    python -m repro faults --ber 1e-4..1e-1
     python -m repro list
 
 Training/evaluation run on the built-in synthetic stand-ins or on a
@@ -111,6 +112,50 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _parse_ber_grid(text: str, points: int) -> tuple[float, ...]:
+    """Parse ``--ber``: ``a..b`` (log-spaced ``points``) or a comma list."""
+    import numpy as np
+
+    if ".." in text:
+        low_text, _, high_text = text.partition("..")
+        try:
+            low, high = float(low_text), float(high_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"could not parse BER range {text!r}; expected e.g. 1e-4..1e-1"
+            ) from None
+        if not 0 < low <= high:
+            raise argparse.ArgumentTypeError(
+                f"BER range must satisfy 0 < low <= high, got {text!r}"
+            )
+        return tuple(float(b) for b in np.geomspace(low, high, num=points))
+    try:
+        bers = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"could not parse BER list {text!r}; expected e.g. 1e-4,1e-3"
+        ) from None
+    if not bers:
+        raise argparse.ArgumentTypeError("at least one BER is required")
+    return bers
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults import DEFAULT_TARGETS, SweepConfig, write_faults_file
+
+    targets = tuple(args.targets) if args.targets else DEFAULT_TARGETS
+    config = SweepConfig(
+        bers=_parse_ber_grid(args.ber, args.points),
+        dim=args.dim,
+        trials=args.trials,
+        seed=args.seed,
+        targets=targets,
+    )
+    path = write_faults_file(config, out_dir=args.out_dir)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_list(args) -> int:
     from repro.bench.workloads import profile_names
 
@@ -163,6 +208,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=_positive_int, default=3, help="timed runs per stage (>= 1)"
     )
     bench.set_defaults(func=_cmd_bench)
+
+    faults = sub.add_parser(
+        "faults",
+        help="sweep bit-error rates through the deployed memories, write BENCH_faults.json",
+    )
+    faults.add_argument(
+        "--ber",
+        default="1e-4..1e-1",
+        help="BER grid: 'low..high' (log-spaced --points) or a comma list",
+    )
+    faults.add_argument(
+        "--points", type=_positive_int, default=7, help="points in a low..high BER range"
+    )
+    faults.add_argument(
+        "--trials", type=_positive_int, default=3, help="independent fault seeds per BER"
+    )
+    faults.add_argument("--dim", type=_positive_int, default=512)
+    faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument(
+        "--targets",
+        nargs="+",
+        metavar="TARGET",
+        help="memories to fault (default: all deployed BRAMs)",
+    )
+    faults.add_argument("--out-dir", default=".", help="directory for BENCH_faults.json")
+    faults.set_defaults(func=_cmd_faults)
 
     lister = sub.add_parser("list", help="list applications and experiments")
     lister.set_defaults(func=_cmd_list)

@@ -1,0 +1,66 @@
+"""Fault injection and resilience measurement for LookHD deployments.
+
+The paper targets FPGAs and low-power edge devices where voltage
+over-scaling and dense SRAM make stored-bit flips a fact of life; HDC's
+holographic representation is the implicit robustness story.  This package
+makes that claim measurable:
+
+* :mod:`repro.faults.injectors` — representation-aware bit-flip and
+  input-noise primitives (sign bits, two's-complement fields, fixed point,
+  packed words; Gaussian/saturation feature noise);
+* :mod:`repro.faults.targets` — map a :class:`FaultSpec` onto every BRAM a
+  fitted :class:`~repro.lookhd.classifier.LookHDClassifier` deploys,
+  producing a faulted copy;
+* :mod:`repro.faults.sweep` — accuracy-vs-BER curves for the plain,
+  compressed, and decorrelated variants, tied back to the Eq. 5
+  signal/noise decomposition, written as ``BENCH_faults.json``;
+* :mod:`repro.faults.schema` — structural validation of that report.
+
+Entry points: ``repro faults`` (CLI) or :func:`run_ber_sweep` /
+:func:`write_faults_file` programmatically.
+"""
+
+from repro.faults.injectors import (
+    flip_fixed_point_bits,
+    flip_integer_bits,
+    flip_packed_bits,
+    flip_sign_bits,
+    gaussian_feature_noise,
+    required_width,
+    saturate_features,
+)
+from repro.faults.schema import FAULTS_SCHEMA_VERSION, validate_faults_payload
+from repro.faults.sweep import (
+    ACCURACY_DROP_BUDGET,
+    MODEL_VARIANTS,
+    SweepConfig,
+    run_ber_sweep,
+    write_faults_file,
+)
+from repro.faults.targets import (
+    DEFAULT_TARGETS,
+    FaultReport,
+    FaultSpec,
+    inject_classifier_faults,
+)
+
+__all__ = [
+    "ACCURACY_DROP_BUDGET",
+    "DEFAULT_TARGETS",
+    "FAULTS_SCHEMA_VERSION",
+    "FaultReport",
+    "FaultSpec",
+    "MODEL_VARIANTS",
+    "SweepConfig",
+    "flip_fixed_point_bits",
+    "flip_integer_bits",
+    "flip_packed_bits",
+    "flip_sign_bits",
+    "gaussian_feature_noise",
+    "inject_classifier_faults",
+    "required_width",
+    "run_ber_sweep",
+    "saturate_features",
+    "validate_faults_payload",
+    "write_faults_file",
+]

@@ -1,0 +1,226 @@
+"""Representation-aware bit-flip and input-noise injectors.
+
+The paper's deployment story (Sec. V) keeps every inference-time memory in
+FPGA BRAM or low-power SRAM: the chunk lookup table, the position
+hypervectors, the class hypervectors, the compressed model and its keys,
+and — for the binary related-work datapath — bit-packed vectors.  Voltage
+over-scaled SRAM flips stored bits at a characteristic **bit-error rate**
+(BER), so a faithful fault model must flip bits *in the representation the
+hardware stores*, not in NumPy's working dtypes:
+
+* **bipolar memories** (positions, keys, sign-binarised classes) are one
+  bit per element; a fault is a sign flip.
+* **integer memories** (the chunk table, class accumulators) are stored as
+  two's-complement fields just wide enough for their value range; a fault
+  flips one stored bit, so the magnitude of the corruption depends on which
+  bit it hits — exactly the behaviour that makes high-order-bit faults the
+  dangerous ones.
+* **real-valued memories** (the compressed model) are stored fixed-point;
+  faults flip bits of the quantized code.
+* **packed hypervectors** store 64 elements per word; only the ``dim``
+  meaningful bits are fault targets (padding never flips).
+
+Every injector is a pure function: it never mutates its input, and the
+same ``rng`` state produces the same fault pattern, so sweeps are exactly
+reproducible.  Input-feature perturbations (Gaussian sensor noise and
+stuck-at saturation) live here too since they share the determinism
+contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in_range, check_positive_int
+
+__all__ = [
+    "required_width",
+    "flip_sign_bits",
+    "flip_integer_bits",
+    "flip_fixed_point_bits",
+    "flip_packed_bits",
+    "gaussian_feature_noise",
+    "saturate_features",
+]
+
+
+def _check_ber(ber: float) -> float:
+    return check_in_range(ber, "ber", 0.0, 1.0)
+
+
+def required_width(values: np.ndarray) -> int:
+    """Two's-complement bits needed to store every value in ``values``.
+
+    This is the width a hardware deployment would provision for the memory
+    (the paper notes the chunk table needs only ``log2(r)+1``-ish bits per
+    element), and therefore the number of fault-exposed bits per element.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return 1
+    low = int(values.min())
+    high = int(values.max())
+    width = 1
+    while not (-(1 << (width - 1)) <= low and high <= (1 << (width - 1)) - 1):
+        width += 1
+    return width
+
+
+def _random_bit_pattern(
+    shape: tuple[int, ...], width: int, ber: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``uint64`` array where each of the low ``width`` bits is set w.p. ``ber``."""
+    pattern = np.zeros(shape, dtype=np.uint64)
+    if ber == 0.0:
+        return pattern
+    for bit in range(width):
+        pattern |= (rng.random(shape) < ber).astype(np.uint64) << np.uint64(bit)
+    return pattern
+
+
+def flip_sign_bits(vectors: np.ndarray, ber: float, rng=None) -> np.ndarray:
+    """Fault a one-bit-per-element bipolar memory: flip signs at rate ``ber``.
+
+    Models BRAM holding ±1 hypervectors (position vectors, compression
+    keys) as single bits; a bit-flip negates the element.  Returns a copy.
+    """
+    _check_ber(ber)
+    vectors = np.asarray(vectors)
+    generator = ensure_rng(rng)
+    flips = generator.random(vectors.shape) < ber
+    out = vectors.copy()
+    out[flips] = -out[flips]
+    return out
+
+
+def flip_integer_bits(
+    values: np.ndarray, ber: float, rng=None, width: int | None = None
+) -> np.ndarray:
+    """Fault an integer memory stored as ``width``-bit two's complement.
+
+    Each element is encoded into its ``width``-bit field, each stored bit
+    flips independently with probability ``ber``, and the field is decoded
+    back (sign-extended).  ``width=None`` derives the minimal width from
+    the data — the footprint a deployment would actually provision.
+    Returns an ``int64`` copy.
+    """
+    _check_ber(ber)
+    values = np.asarray(values)
+    if width is None:
+        width = required_width(values)
+    else:
+        check_positive_int(width, "width")
+        if width > 63:
+            raise ValueError(f"width must be <= 63, got {width}")
+    if required_width(values) > width:
+        raise ValueError(
+            f"values need {required_width(values)} bits but width is {width}"
+        )
+    generator = ensure_rng(rng)
+    mask = np.uint64((1 << width) - 1)
+    encoded = values.astype(np.int64).view(np.uint64) & mask
+    corrupted = encoded ^ _random_bit_pattern(values.shape, width, ber, generator)
+    decoded = corrupted.astype(np.int64)
+    sign_bit = np.int64(1 << (width - 1))
+    decoded = np.where(decoded & sign_bit, decoded - np.int64(1 << width), decoded)
+    return decoded
+
+
+def flip_fixed_point_bits(
+    values: np.ndarray, ber: float, rng=None, width: int = 16
+) -> np.ndarray:
+    """Fault a real-valued memory stored as ``width``-bit fixed point.
+
+    The array is scaled so its maximum magnitude fills the signed field
+    (the Q-format a hardware port would pick), bits of the integer codes
+    flip at rate ``ber``, and the codes are scaled back.  At ``ber == 0``
+    the only difference from the input is the fixed-point rounding itself,
+    which is the honest baseline for a hardware memory.  Returns a float64
+    copy.
+    """
+    _check_ber(ber)
+    check_positive_int(width, "width")
+    if width < 2 or width > 63:
+        raise ValueError(f"width must be in [2, 63], got {width}")
+    values = np.asarray(values, dtype=np.float64)
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    if max_abs == 0.0:
+        return values.copy()
+    scale = max_abs / ((1 << (width - 1)) - 1)
+    codes = np.round(values / scale).astype(np.int64)
+    corrupted = flip_integer_bits(codes, ber, rng=rng, width=width)
+    return corrupted.astype(np.float64) * scale
+
+
+def flip_packed_bits(packed: np.ndarray, ber: float, dim: int, rng=None) -> np.ndarray:
+    """Fault bit-packed hypervectors: flip each of the ``dim`` live bits.
+
+    Operates on ``uint64`` words as produced by
+    :func:`repro.hdc.bitpacked.pack_bipolar`; padding bits beyond ``dim``
+    in the last word are never touched, so unpacking stays exact.  Returns
+    a copy.
+    """
+    _check_ber(ber)
+    check_positive_int(dim, "dim")
+    packed = np.asarray(packed, dtype=np.uint64)
+    single = packed.ndim == 1
+    out = np.atleast_2d(packed).copy()
+    n_words = out.shape[-1]
+    if n_words * 64 < dim:
+        raise ValueError(f"packed rows hold {n_words * 64} bits < dim {dim}")
+    generator = ensure_rng(rng)
+    for word in range(n_words):
+        live = min(64, dim - word * 64)
+        if live <= 0:
+            break
+        out[:, word] ^= _random_bit_pattern(out.shape[:-1], live, ber, generator)
+    return out[0] if single else out
+
+
+def gaussian_feature_noise(
+    features: np.ndarray, sigma: float, rng=None, relative: bool = True
+) -> np.ndarray:
+    """Additive Gaussian sensor noise on raw input features.
+
+    ``sigma`` is the noise standard deviation; with ``relative=True`` it is
+    expressed in units of each feature's own standard deviation, so one
+    setting is meaningful across features with very different scales (the
+    skewed marginals of Fig. 3a).  Returns a float64 copy.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    features = np.asarray(features, dtype=np.float64)
+    if sigma == 0:
+        return features.copy()
+    generator = ensure_rng(rng)
+    scale = sigma
+    if relative:
+        spread = features.std(axis=0) if features.ndim == 2 else np.abs(features)
+        scale = sigma * np.where(spread > 0, spread, 1.0)
+    return features + scale * generator.standard_normal(features.shape)
+
+
+def saturate_features(
+    features: np.ndarray, fraction: float, rng=None
+) -> np.ndarray:
+    """Stuck-at saturation: a random ``fraction`` of readings rail to min/max.
+
+    Models saturating ADC channels / stuck sensors: each selected entry is
+    replaced by its feature's observed minimum or maximum (coin flip).
+    Returns a float64 copy.
+    """
+    check_in_range(fraction, "fraction", 0.0, 1.0)
+    features = np.asarray(features, dtype=np.float64)
+    out = features.copy()
+    if fraction == 0:
+        return out
+    generator = ensure_rng(rng)
+    batch = np.atleast_2d(out)
+    lows = batch.min(axis=0)
+    highs = batch.max(axis=0)
+    stuck = generator.random(batch.shape) < fraction
+    high_rail = generator.random(batch.shape) < 0.5
+    rails = np.where(high_rail, highs[np.newaxis, :], lows[np.newaxis, :])
+    batch[stuck] = rails[stuck]
+    return out

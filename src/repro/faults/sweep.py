@@ -1,0 +1,257 @@
+"""Bit-error-rate sweeps: accuracy-vs-BER curves for LookHD variants.
+
+Trains three deployment variants of the same synthetic workload —
+
+* ``plain`` — uncompressed class hypervectors (Sec. IV-A),
+* ``compressed`` — Eq. 4 key-folded model *without* decorrelation,
+* ``decorrelated`` — the paper's full pipeline (Eq. 4 + Sec. IV-C),
+
+then, for each bit-error rate, injects representation-aware bit flips
+(:mod:`repro.faults.targets`) into every BRAM the variant deploys and
+measures test accuracy over several independent fault seeds.  The curves
+quantify the robustness HDC's holographic representation is supposed to
+buy on voltage-over-scaled hardware, and — because compression folds ``k``
+classes into shared storage — how the Eq. 4 trade changes the noise
+margin.  For the compressed variants the sweep also re-measures the Eq. 5
+signal/noise decomposition (:mod:`repro.lookhd.noise`) under fault, so the
+accuracy loss can be read against the cross-talk it is caused by.
+
+A smaller input-noise sweep (Gaussian sigma on raw features) rides along:
+sensor noise enters *before* quantization, so its damage profile differs
+from storage faults in an instructive way (equalized boundaries absorb
+small perturbations until a value crosses a quantile edge).
+
+The output payload is validated by :mod:`repro.faults.schema` and written
+as ``BENCH_faults.json`` next to the perf harness's artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.faults.injectors import gaussian_feature_noise
+from repro.faults.schema import FAULTS_SCHEMA_VERSION, validate_faults_payload
+from repro.faults.targets import DEFAULT_TARGETS, FaultSpec, inject_classifier_faults
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.noise import compression_noise_report
+from repro.utils.validation import check_positive_int
+
+#: Threshold used for the headline "safe BER" metric: the largest swept
+#: BER whose mean accuracy stays within this absolute drop of clean.
+ACCURACY_DROP_BUDGET = 0.01
+
+#: The three deployment variants every sweep compares.
+MODEL_VARIANTS = ("plain", "compressed", "decorrelated")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One fault sweep: workload geometry + fault model + BER grid."""
+
+    bers: tuple[float, ...]
+    dim: int = 512
+    levels: int = 4
+    chunk_size: int = 4
+    n_features: int = 32
+    n_classes: int = 6
+    n_train: int = 480
+    n_test: int = 240
+    trials: int = 3
+    seed: int = 7
+    targets: tuple[str, ...] = DEFAULT_TARGETS
+    fixed_point_width: int = 16
+    noise_sigmas: tuple[float, ...] = (0.1, 0.5)
+    retrain_iterations: int = 2
+
+    def __post_init__(self):
+        if not self.bers:
+            raise ValueError("bers must not be empty")
+        for ber in self.bers:
+            if not 0.0 <= ber <= 1.0:
+                raise ValueError(f"each BER must be in [0, 1], got {ber}")
+        check_positive_int(self.trials, "trials")
+        check_positive_int(self.dim, "dim")
+
+    def config_dict(self) -> dict:
+        payload = asdict(self)
+        payload["bers"] = [float(ber) for ber in self.bers]
+        payload["targets"] = list(self.targets)
+        payload["noise_sigmas"] = [float(sigma) for sigma in self.noise_sigmas]
+        return payload
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def _variant_config(variant: str, config: SweepConfig) -> LookHDConfig:
+    if variant == "plain":
+        return LookHDConfig(
+            dim=config.dim,
+            levels=config.levels,
+            chunk_size=config.chunk_size,
+            compress=False,
+            seed=config.seed,
+        )
+    return LookHDConfig(
+        dim=config.dim,
+        levels=config.levels,
+        chunk_size=config.chunk_size,
+        compress=True,
+        decorrelate=(variant == "decorrelated"),
+        seed=config.seed,
+    )
+
+
+def _fit_variant(variant: str, config: SweepConfig, data) -> LookHDClassifier:
+    clf = LookHDClassifier(_variant_config(variant, config))
+    clf.fit(
+        data.train_features,
+        data.train_labels,
+        retrain_iterations=config.retrain_iterations,
+    )
+    return clf
+
+
+def _noise_stats(clf: LookHDClassifier, queries: np.ndarray) -> dict | None:
+    """Eq. 5 cross-talk measurements for a (possibly faulted) compressed model."""
+    if clf.compressed_model is None:
+        return None
+    report = compression_noise_report(
+        clf.compressed_model, clf.compressed_model.prepared_classes, queries
+    )
+    return {
+        "noise_to_signal": float(report.noise_to_signal),
+        "rank_flip_rate": float(report.rank_flip_rate),
+    }
+
+
+def run_ber_sweep(config: SweepConfig) -> dict:
+    """Run the full sweep; returns the schema-validated report payload."""
+    data = make_synthetic_classification(
+        SyntheticSpec(
+            n_features=config.n_features,
+            n_classes=config.n_classes,
+            n_train=config.n_train,
+            n_test=config.n_test,
+            seed=config.seed,
+        ),
+        name="faults",
+    )
+    test_x = data.test_features
+    test_y = np.asarray(data.test_labels)
+
+    models = []
+    for variant in MODEL_VARIANTS:
+        clf = _fit_variant(variant, config, data)
+        clean_accuracy = clf.score(test_x, test_y)
+        clean_queries = clf.encoder.encode_many(test_x[: min(64, test_x.shape[0])])
+        curve = []
+        exposed_bits_total = None
+        worst_noise = None
+        for ber in config.bers:
+            accuracies = []
+            for trial in range(config.trials):
+                spec = FaultSpec(
+                    ber=ber,
+                    targets=config.targets,
+                    seed=config.seed * 1000 + trial,
+                    fixed_point_width=config.fixed_point_width,
+                )
+                faulted, fault_report = inject_classifier_faults(clf, spec)
+                accuracies.append(faulted.score(test_x, test_y))
+                if exposed_bits_total is None:
+                    exposed_bits_total = fault_report.total_bits
+                if ber == max(config.bers) and trial == 0:
+                    worst_noise = _noise_stats(faulted, clean_queries)
+            accuracies = np.asarray(accuracies, dtype=np.float64)
+            curve.append(
+                {
+                    "ber": float(ber),
+                    "accuracy_mean": float(accuracies.mean()),
+                    "accuracy_std": float(accuracies.std()),
+                    "accuracy_min": float(accuracies.min()),
+                    "trials": int(config.trials),
+                    "accuracy_drop": float(clean_accuracy - accuracies.mean()),
+                }
+            )
+        within_budget = [
+            point["ber"]
+            for point in curve
+            if point["accuracy_drop"] <= ACCURACY_DROP_BUDGET
+        ]
+        models.append(
+            {
+                "name": variant,
+                "clean_accuracy": float(clean_accuracy),
+                "exposed_bits": int(exposed_bits_total or 0),
+                "curve": curve,
+                "max_safe_ber": (max(within_budget) if within_budget else None),
+                "noise_clean": _noise_stats(clf, clean_queries),
+                "noise_at_max_ber": worst_noise,
+            }
+        )
+
+    feature_noise = []
+    variants = {variant: _fit_variant(variant, config, data) for variant in MODEL_VARIANTS}
+    for sigma in config.noise_sigmas:
+        entry = {"sigma": float(sigma), "accuracy": {}}
+        for variant, clf in variants.items():
+            accuracies = [
+                clf.score(
+                    gaussian_feature_noise(
+                        test_x, sigma, rng=config.seed * 100 + trial
+                    ),
+                    test_y,
+                )
+                for trial in range(config.trials)
+            ]
+            entry["accuracy"][variant] = float(np.mean(accuracies))
+        feature_noise.append(entry)
+
+    payload = {
+        "schema_version": FAULTS_SCHEMA_VERSION,
+        "benchmark": "faults",
+        "config": config.config_dict(),
+        "environment": _environment(),
+        "models": models,
+        "feature_noise": feature_noise,
+        "checks": {
+            "chance_accuracy": 1.0 / config.n_classes,
+            "accuracy_drop_budget": ACCURACY_DROP_BUDGET,
+        },
+    }
+    return validate_faults_payload(payload)
+
+
+def write_faults_file(
+    config: SweepConfig, out_dir: str | Path = ".", stream=None
+) -> Path:
+    """Run a sweep and write ``BENCH_faults.json``; returns the file path."""
+    if stream is None:
+        stream = sys.stdout
+    payload = run_ber_sweep(config)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_faults.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for entry in payload["models"]:
+        safe = entry["max_safe_ber"]
+        print(
+            f"[faults] {entry['name']}: clean {entry['clean_accuracy']:.4f}, "
+            f"max safe BER {'none' if safe is None else f'{safe:g}'} "
+            f"(<= {ACCURACY_DROP_BUDGET:.0%} drop, {entry['exposed_bits']} bits exposed)",
+            file=stream,
+        )
+    return path

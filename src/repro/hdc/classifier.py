@@ -19,7 +19,7 @@ from repro.hdc.model import ClassModel
 from repro.quantization.base import Quantizer
 from repro.quantization.linear import LinearQuantizer
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_2d, check_positive_int
+from repro.utils.validation import check_2d, check_finite, check_labels, check_positive_int
 
 
 @dataclass
@@ -90,10 +90,8 @@ class BaselineHDClassifier:
             Optional ``(features, labels)`` used only to record accuracy in
             the returned :class:`RetrainReport`.
         """
-        features = check_2d(features, "features")
-        labels = np.asarray(labels)
-        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
-            raise ValueError("labels must be 1-D and align with features")
+        features = check_finite(check_2d(features, "features"), "features")
+        labels = check_labels(labels, "labels", n_samples=features.shape[0])
         self.n_classes = int(labels.max()) + 1
         self.quantizer.fit(features)
         item_memory = LevelItemMemory(

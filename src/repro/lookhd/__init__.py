@@ -27,17 +27,18 @@ from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
 from repro.lookhd.compression import CompressedModel, decorrelate_classes
 from repro.lookhd.counters import ChunkCounters
 from repro.lookhd.encoder import LookupEncoder
-from repro.lookhd.inference import FusedInferenceEngine
+from repro.lookhd.inference import FusedFallbackWarning, FusedInferenceEngine
 from repro.lookhd.lookup_table import ChunkLookupTable
 from repro.lookhd.noise import compression_noise_report
 from repro.lookhd.online import OnlineLookHD
-from repro.lookhd.persistence import load_classifier, save_classifier
+from repro.lookhd.persistence import ArtifactError, load_classifier, save_classifier
 from repro.lookhd.trainer import LookHDTrainer
 
 __all__ = [
     "ChunkLayout",
     "ChunkLookupTable",
     "LookupEncoder",
+    "FusedFallbackWarning",
     "FusedInferenceEngine",
     "ChunkCounters",
     "LookHDTrainer",
@@ -45,6 +46,7 @@ __all__ = [
     "decorrelate_classes",
     "compression_noise_report",
     "OnlineLookHD",
+    "ArtifactError",
     "save_classifier",
     "load_classifier",
     "LookHDClassifier",

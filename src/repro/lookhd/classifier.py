@@ -32,7 +32,7 @@ from repro.lookhd.trainer import LookHDTrainer
 from repro.quantization.base import Quantizer
 from repro.quantization.equalized import EqualizedQuantizer
 from repro.utils.rng import derive_rng
-from repro.utils.validation import check_2d, check_positive_int
+from repro.utils.validation import check_2d, check_finite, check_labels, check_positive_int
 
 
 @dataclass(frozen=True)
@@ -141,10 +141,8 @@ class LookHDClassifier:
         The retraining trace (empty when ``retrain_iterations == 0``).
         """
         cfg = self.config
-        batch = check_2d(features, "features")
-        labels = np.asarray(labels)
-        if labels.ndim != 1 or labels.shape[0] != batch.shape[0]:
-            raise ValueError("labels must be 1-D and align with features")
+        batch = check_finite(check_2d(features, "features"), "features")
+        labels = check_labels(labels, "labels", n_samples=batch.shape[0])
         self.n_classes = int(labels.max()) + 1
         chunk_size = min(cfg.chunk_size, batch.shape[1])
         layout = ChunkLayout(batch.shape[1], chunk_size)
@@ -266,6 +264,7 @@ class LookHDClassifier:
             engine = self.fused_engine()
             if engine.enabled:
                 return engine.predict(features)
+            engine.note_fallback()
         single = np.asarray(features).ndim == 1
         encoded = (
             self.encoder.encode(features)

@@ -32,6 +32,8 @@ cache management.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.hdc.model import ClassModel
@@ -42,6 +44,16 @@ from repro.lookhd.encoder import LookupEncoder
 #: the paper-scale table is a few MB, so hitting this signals an unusual
 #: geometry where the hypervector-domain path is the better choice anyway.
 DEFAULT_SCORE_TABLE_BUDGET_BYTES = 128 * 2**20
+
+
+class FusedFallbackWarning(RuntimeWarning):
+    """The fused score table exceeded its budget; serving the slower path.
+
+    Raised as a *warning*, not an error: the hypervector-domain fallback is
+    exact, just slower — but a deployment sized around the fused path
+    should know it is not getting it, rather than discovering the
+    regression in a latency dashboard.
+    """
 
 
 class FusedInferenceEngine:
@@ -79,6 +91,10 @@ class FusedInferenceEngine:
         self.n_classes = model.n_classes
         self._score_table: np.ndarray | None = None
         self._built_version: int | None = None
+        #: Human-readable reason the last fallback happened (``None`` while
+        #: the fused path is serving).  Queryable by monitoring code.
+        self.fallback_reason: str | None = None
+        self._fallback_warned = False
 
     # -- table management ------------------------------------------------------
 
@@ -95,6 +111,26 @@ class FusedInferenceEngine:
     def enabled(self) -> bool:
         """Whether the score table fits the memory budget."""
         return self.table_bytes_needed() <= self.budget_bytes
+
+    def note_fallback(self) -> str:
+        """Record (and warn once about) a fall back to the hypervector path.
+
+        Called by consumers that route around a disabled engine — e.g.
+        :meth:`~repro.lookhd.classifier.LookHDClassifier.predict`.  Sets
+        :attr:`fallback_reason` and emits one :class:`FusedFallbackWarning`
+        per engine, so a long-running service logs the condition exactly
+        once instead of on every query (or never).
+        """
+        self.fallback_reason = (
+            f"score table needs {self.table_bytes_needed()} bytes "
+            f"(m={self.encoder.layout.n_chunks}, q^r={self.encoder.lookup_table.n_rows}, "
+            f"k={self.n_classes}) but the budget is {self.budget_bytes} bytes; "
+            "serving the exact hypervector-domain path instead"
+        )
+        if not self._fallback_warned:
+            warnings.warn(self.fallback_reason, FusedFallbackWarning, stacklevel=3)
+            self._fallback_warned = True
+        return self.fallback_reason
 
     def _search_vectors(self) -> np.ndarray:
         """``(k, D)`` float64 class search matrix ``W``."""
@@ -138,7 +174,8 @@ class FusedInferenceEngine:
         table = self.score_table
         if table is None:
             raise RuntimeError(
-                "score table exceeds the memory budget; use the hypervector path"
+                self.note_fallback()
+                + " (call the classifier's predict(), which handles the fallback)"
             )
         addresses = np.asarray(addresses)
         out = np.zeros((addresses.shape[0], self.n_classes), dtype=np.float64)

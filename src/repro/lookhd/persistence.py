@@ -5,10 +5,21 @@ quantizer boundaries, the chunk lookup table, the position hypervectors,
 and the compressed model with its keys.  Everything needed for inference
 is materialised (no RNG state is required at load time), so an artifact
 saved here and evaluated anywhere reproduces predictions bit-for-bit.
+
+Robustness contract: loading never silently serves a wrong model.  Every
+array is checksummed (SHA-256 over raw bytes, dtype, and shape) at save
+time and verified at load; the format version is validated explicitly; and
+any corruption, truncation, version skew, or missing key raises
+:class:`ArtifactError` with an actionable message instead of a ``KeyError``
+or — worse — a model that predicts garbage.  Flash storage on the edge
+devices the paper targets is exactly where artifacts rot.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -22,11 +33,67 @@ from repro.lookhd.encoder import LookupEncoder
 from repro.lookhd.lookup_table import ChunkLookupTable
 from repro.quantization.equalized import EqualizedQuantizer
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+#: Version 1 artifacts predate per-array checksums; they still load (there
+#: is nothing to verify), so existing models keep working.
+_SUPPORTED_VERSIONS = (1, 2)
+
+#: Keys every artifact must contain, whatever its version.
+_REQUIRED_KEYS = (
+    "format_version",
+    "dim",
+    "levels",
+    "chunk_size",
+    "n_features",
+    "n_classes",
+    "compress",
+    "decorrelate",
+    "group_size",
+    "quantizer_boundaries",
+    "level_vectors",
+    "position_vectors",
+    "class_vectors",
+)
+#: Additionally required when the artifact carries a compressed model.
+_COMPRESSED_KEYS = (
+    "compressed",
+    "prepared_classes",
+    "keys",
+    "comp_group_size",
+    "common_direction",
+    "learning_rate",
+)
+
+
+class ArtifactError(Exception):
+    """A persisted model artifact is unreadable, corrupted, or incompatible."""
+
+
+def _array_digest(array: np.ndarray) -> str:
+    """SHA-256 over bytes + dtype + shape, so type/shape swaps also trip it."""
+    array = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _actual_npz_path(path: Path) -> Path:
+    """The filename :func:`numpy.savez_compressed` actually writes.
+
+    NumPy appends ``.npz`` unless the name already ends with it, so a bare
+    ``model`` lands on disk as ``model.npz``.  Mirroring that rule here is
+    what lets us return a path that exists.
+    """
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
 
 
 def save_classifier(clf: LookHDClassifier, path: str | Path) -> Path:
-    """Persist a fitted classifier to ``path`` (``.npz``)."""
+    """Persist a fitted classifier to ``path`` (``.npz``).
+
+    Returns the actual on-disk path (NumPy appends ``.npz`` when missing).
+    """
     if clf.encoder is None or clf.class_model is None:
         raise RuntimeError("classifier must be fitted before saving")
     cfg = clf.config
@@ -55,20 +122,101 @@ def save_classifier(clf: LookHDClassifier, path: str | Path) -> Path:
             common_direction=comp._common_direction,
             learning_rate=comp.learning_rate,
         )
+    checksums = {
+        name: _array_digest(np.asarray(value)) for name, value in payload.items()
+    }
+    payload["checksums"] = json.dumps(checksums, sort_keys=True)
     path = Path(path)
     np.savez_compressed(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    actual = _actual_npz_path(path)
+    if not actual.exists():
+        raise ArtifactError(
+            f"expected {actual} after saving, but it does not exist; "
+            "the filesystem rejected the write"
+        )
+    return actual
+
+
+def _read_required(archive, key: str, path: Path) -> np.ndarray:
+    try:
+        return archive[key]
+    except KeyError:
+        raise ArtifactError(
+            f"artifact {path} is missing required key {key!r}; it was either "
+            "truncated or not produced by save_classifier — re-export the model"
+        ) from None
+
+
+def _verify_checksums(archive, path: Path) -> None:
+    if "checksums" not in archive:
+        raise ArtifactError(
+            f"artifact {path} declares format version {_FORMAT_VERSION} but has "
+            "no checksum manifest; the file was tampered with or truncated"
+        )
+    try:
+        manifest = json.loads(str(archive["checksums"]))
+    except (json.JSONDecodeError, ValueError) as error:
+        raise ArtifactError(
+            f"artifact {path} has an unreadable checksum manifest ({error}); "
+            "the file is corrupted — re-export the model"
+        ) from None
+    for name, expected in sorted(manifest.items()):
+        stored = _read_required(archive, name, path)
+        actual = _array_digest(np.asarray(stored))
+        if actual != expected:
+            raise ArtifactError(
+                f"artifact {path} failed the checksum for array {name!r} "
+                f"(stored {expected[:12]}…, computed {actual[:12]}…); the file "
+                "is corrupted on disk — restore from a backup or re-export "
+                "the model"
+            )
 
 
 def load_classifier(path: str | Path) -> LookHDClassifier:
-    """Restore a classifier saved by :func:`save_classifier`."""
+    """Restore a classifier saved by :func:`save_classifier`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ArtifactError
+        If the file is not a readable ``.npz``, its format version is
+        unsupported, a required key is missing, or any array fails its
+        checksum.  Corruption never degrades into a silently wrong model.
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
-    with np.load(path) as archive:
-        version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported artifact version {version}")
+    try:
+        archive_ctx = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError) as error:
+        raise ArtifactError(
+            f"{path} is not a readable .npz artifact ({error}); the file is "
+            "corrupted or is not a save_classifier export"
+        ) from None
+    with archive_ctx as archive:
+        version_raw = _read_required(archive, "format_version", path)
+        try:
+            version = int(version_raw)
+        except (TypeError, ValueError):
+            raise ArtifactError(
+                f"artifact {path} has a non-integer format_version {version_raw!r}"
+            ) from None
+        if version not in _SUPPORTED_VERSIONS:
+            raise ArtifactError(
+                f"artifact {path} has format version {version}, but this build "
+                f"supports {list(_SUPPORTED_VERSIONS)}; upgrade the library or "
+                "re-export the model with the current version"
+            )
+        for key in _REQUIRED_KEYS:
+            _read_required(archive, key, path)
+        has_compressed = "compressed" in archive
+        if has_compressed:
+            for key in _COMPRESSED_KEYS:
+                _read_required(archive, key, path)
+        if version >= 2:
+            _verify_checksums(archive, path)
+
         cfg = LookHDConfig(
             dim=int(archive["dim"]),
             levels=int(archive["levels"]),
@@ -79,6 +227,22 @@ def load_classifier(path: str | Path) -> LookHDClassifier:
         )
         clf = LookHDClassifier(cfg)
 
+        level_vectors = archive["level_vectors"]
+        position_vectors = archive["position_vectors"]
+        class_vectors = archive["class_vectors"]
+        n_features = int(archive["n_features"])
+        n_classes = int(archive["n_classes"])
+        if level_vectors.shape != (cfg.levels, cfg.dim):
+            raise ArtifactError(
+                f"artifact {path}: level_vectors shape {level_vectors.shape} does "
+                f"not match the declared geometry ({cfg.levels}, {cfg.dim})"
+            )
+        if class_vectors.shape != (n_classes, cfg.dim):
+            raise ArtifactError(
+                f"artifact {path}: class_vectors shape {class_vectors.shape} does "
+                f"not match the declared geometry ({n_classes}, {cfg.dim})"
+            )
+
         quantizer = EqualizedQuantizer(cfg.levels)
         quantizer._boundaries = archive["quantizer_boundaries"]
         quantizer._fitted = True
@@ -87,19 +251,24 @@ def load_classifier(path: str | Path) -> LookHDClassifier:
         memory = LevelItemMemory.__new__(LevelItemMemory)
         memory.levels = cfg.levels
         memory.dim = cfg.dim
-        memory.vectors = archive["level_vectors"]
+        memory.vectors = level_vectors
         table = ChunkLookupTable(memory, cfg.chunk_size)
-        layout = ChunkLayout(int(archive["n_features"]), cfg.chunk_size)
+        layout = ChunkLayout(n_features, cfg.chunk_size)
         encoder = LookupEncoder(quantizer, table, layout, seed=0)
-        encoder.position_memory.vectors = archive["position_vectors"]
+        if position_vectors.shape != (layout.n_chunks, cfg.dim):
+            raise ArtifactError(
+                f"artifact {path}: position_vectors shape {position_vectors.shape} "
+                f"does not match the declared geometry ({layout.n_chunks}, {cfg.dim})"
+            )
+        encoder.position_memory.vectors = position_vectors
         clf.encoder = encoder
 
-        clf.n_classes = int(archive["n_classes"])
+        clf.n_classes = n_classes
         model = ClassModel(clf.n_classes, cfg.dim)
-        model.class_vectors = archive["class_vectors"]
+        model.class_vectors = class_vectors
         clf.class_model = model
 
-        if "compressed" in archive:
+        if has_compressed:
             comp = CompressedModel.__new__(CompressedModel)
             comp.n_classes = clf.n_classes
             comp.dim = cfg.dim
@@ -116,6 +285,11 @@ def load_classifier(path: str | Path) -> LookHDClassifier:
             comp._common_direction = archive["common_direction"]
             comp.learning_rate = float(archive["learning_rate"])
             comp._normalize = True
+            if comp.compressed.shape != (comp.n_groups, cfg.dim):
+                raise ArtifactError(
+                    f"artifact {path}: compressed shape {comp.compressed.shape} "
+                    f"does not match the declared geometry ({comp.n_groups}, {cfg.dim})"
+                )
             clf.compressed_model = comp
         else:
             clf.compressed_model = None

@@ -6,7 +6,7 @@ import abc
 
 import numpy as np
 
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_finite, check_positive_int
 
 
 class Quantizer(abc.ABC):
@@ -38,17 +38,20 @@ class Quantizer(abc.ABC):
         values = np.asarray(values, dtype=np.float64)
         if values.size == 0:
             raise ValueError("cannot fit a quantizer on empty data")
-        if not np.all(np.isfinite(values)):
-            raise ValueError("training values must be finite")
+        check_finite(values, "training values")
         self._fit(values.ravel())
         self._fitted = True
         return self
 
     def transform(self, values: np.ndarray) -> np.ndarray:
-        """Map values to level indices; out-of-range values clip to the ends."""
+        """Map values to level indices; out-of-range values clip to the ends.
+
+        Rejects NaN/inf inputs: a NaN would land in an arbitrary level and
+        silently corrupt every downstream hypervector.
+        """
         if not self._fitted:
             raise RuntimeError("quantizer must be fitted before transform")
-        values = np.asarray(values, dtype=np.float64)
+        values = check_finite(np.asarray(values, dtype=np.float64), "values")
         indices = self._transform(values)
         return np.clip(indices, 0, self.levels - 1).astype(np.int64)
 

@@ -42,6 +42,51 @@ def check_1d(array: np.ndarray, name: str) -> np.ndarray:
     return array
 
 
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Reject arrays containing NaN or ±inf with a clear exception.
+
+    Garbage inputs must fail at the API boundary: a NaN that reaches the
+    quantizer silently lands in an arbitrary level (``searchsorted`` on NaN
+    is well-defined but meaningless) and from there propagates into
+    confidently wrong scores.
+    """
+    array = np.asarray(array)
+    if np.issubdtype(array.dtype, np.floating) and not np.all(np.isfinite(array)):
+        bad = int(np.size(array) - np.count_nonzero(np.isfinite(array)))
+        raise ValueError(
+            f"{name} contains {bad} non-finite value(s) (NaN or inf); "
+            "clean or impute the input before calling"
+        )
+    return array
+
+
+def check_labels(labels: np.ndarray, name: str, n_samples: int | None = None) -> np.ndarray:
+    """Validate integer class labels: 1-D, finite, non-negative, aligned.
+
+    Returns the labels as an ``int64`` array.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {labels.shape}")
+    if n_samples is not None and labels.shape[0] != n_samples:
+        raise ValueError(
+            f"{name} must align with features: {labels.shape[0]} labels "
+            f"for {n_samples} samples"
+        )
+    if labels.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if np.issubdtype(labels.dtype, np.floating):
+        check_finite(labels, name)
+        if not np.all(labels == np.floor(labels)):
+            raise ValueError(f"{name} must be integers, got fractional values")
+    elif not np.issubdtype(labels.dtype, np.integer):
+        raise TypeError(f"{name} must be integers, got dtype {labels.dtype}")
+    labels = labels.astype(np.int64)
+    if labels.min() < 0:
+        raise ValueError(f"{name} must be non-negative class indices")
+    return labels
+
+
 def check_2d(array: np.ndarray, name: str) -> np.ndarray:
     """Coerce ``array`` to a 2-D :class:`numpy.ndarray` or raise.
 

@@ -1,0 +1,144 @@
+"""Statistical and determinism contracts of the fault injectors."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injectors import (
+    flip_fixed_point_bits,
+    flip_integer_bits,
+    flip_packed_bits,
+    flip_sign_bits,
+    gaussian_feature_noise,
+    required_width,
+    saturate_features,
+)
+from repro.hdc.bitpacked import pack_bipolar, unpack_bipolar
+
+
+class TestRequiredWidth:
+    @pytest.mark.parametrize(
+        "low,high,width",
+        [(0, 0, 1), (-1, 0, 1), (0, 1, 2), (-5, 5, 4), (-8, 7, 4), (-9, 0, 5), (0, 127, 8)],
+    )
+    def test_matches_twos_complement(self, low, high, width):
+        assert required_width(np.array([low, high])) == width
+
+
+class TestFlipSignBits:
+    def test_zero_ber_is_identity(self):
+        vectors = np.where(np.random.default_rng(0).random((16, 64)) < 0.5, 1, -1)
+        assert np.array_equal(flip_sign_bits(vectors, 0.0, rng=1), vectors)
+
+    def test_flip_rate_matches_ber(self):
+        vectors = np.ones((300, 300), dtype=np.int8)
+        faulted = flip_sign_bits(vectors, 0.05, rng=2)
+        rate = float((faulted == -1).mean())
+        assert 0.04 < rate < 0.06
+
+    def test_deterministic_and_pure(self):
+        vectors = np.ones((8, 32), dtype=np.int8)
+        first = flip_sign_bits(vectors, 0.3, rng=3)
+        assert np.array_equal(first, flip_sign_bits(vectors, 0.3, rng=3))
+        assert np.all(vectors == 1)  # input untouched
+
+
+class TestFlipIntegerBits:
+    def test_zero_ber_round_trips_values(self):
+        values = np.arange(-8, 8, dtype=np.int16)
+        assert np.array_equal(flip_integer_bits(values, 0.0, rng=0), values)
+
+    def test_results_stay_in_field_range(self):
+        values = np.zeros(10_000, dtype=np.int64)
+        faulted = flip_integer_bits(values, 0.5, rng=1, width=5)
+        assert faulted.min() >= -16 and faulted.max() <= 15
+
+    def test_single_bit_flip_count_statistics(self):
+        values = np.zeros(50_000, dtype=np.int64)
+        faulted = flip_integer_bits(values, 0.01, rng=2, width=8)
+        changed = float((faulted != 0).mean())
+        # P(any of 8 bits flips) = 1 - 0.99^8 ≈ 0.077
+        assert 0.06 < changed < 0.095
+
+    def test_rejects_values_wider_than_field(self):
+        with pytest.raises(ValueError):
+            flip_integer_bits(np.array([100]), 0.1, width=4)
+
+
+class TestFlipFixedPointBits:
+    def test_zero_ber_only_rounds(self):
+        values = np.linspace(-2.0, 2.0, 257)
+        rounded = flip_fixed_point_bits(values, 0.0, rng=0, width=16)
+        assert np.max(np.abs(rounded - values)) < 2.0 / (2**14)
+
+    def test_faults_bounded_by_representable_range(self):
+        values = np.random.default_rng(3).standard_normal(5_000)
+        faulted = flip_fixed_point_bits(values, 0.2, rng=4, width=12)
+        limit = np.max(np.abs(values)) * (2**11) / (2**11 - 1)
+        assert np.max(np.abs(faulted)) <= limit + 1e-9
+
+    def test_all_zero_input_stays_zero_without_faults(self):
+        assert np.array_equal(
+            flip_fixed_point_bits(np.zeros(16), 0.0, rng=0), np.zeros(16)
+        )
+
+
+class TestFlipPackedBits:
+    def test_padding_bits_never_flip(self):
+        rng = np.random.default_rng(5)
+        vectors = np.where(rng.random((20, 70)) < 0.5, 1, -1).astype(np.int8)
+        packed = pack_bipolar(vectors)
+        faulted = flip_packed_bits(packed, 0.5, dim=70, rng=6)
+        # Unpacking must still produce strict ±1 over exactly dim elements.
+        unpacked = unpack_bipolar(faulted, 70)
+        assert np.all(np.isin(unpacked, (-1, 1)))
+        # Padding (bits 70..127) identical to the original packing.
+        pad_mask = ~np.uint64((1 << (70 - 64)) - 1)
+        assert np.array_equal(faulted[:, 1] & pad_mask, packed[:, 1] & pad_mask)
+
+    def test_flip_rate_matches_ber(self):
+        vectors = np.ones((100, 640), dtype=np.int8)
+        packed = pack_bipolar(vectors)
+        faulted = flip_packed_bits(packed, 0.1, dim=640, rng=7)
+        rate = float((unpack_bipolar(faulted, 640) == -1).mean())
+        assert 0.08 < rate < 0.12
+
+    def test_single_row(self):
+        vector = np.ones(100, dtype=np.int8)
+        faulted = flip_packed_bits(pack_bipolar(vector), 0.2, dim=100, rng=8)
+        assert faulted.ndim == 1
+
+
+class TestFeatureNoise:
+    def test_zero_sigma_identity(self):
+        features = np.random.default_rng(9).random((30, 4))
+        assert np.array_equal(gaussian_feature_noise(features, 0.0, rng=0), features)
+
+    def test_relative_sigma_scales_with_feature_spread(self):
+        rng = np.random.default_rng(10)
+        features = np.column_stack([rng.standard_normal(4000), 100 * rng.standard_normal(4000)])
+        noisy = gaussian_feature_noise(features, 0.5, rng=11, relative=True)
+        deltas = noisy - features
+        assert 40 < deltas[:, 1].std() / deltas[:, 0].std() < 250
+
+    def test_saturation_rails_to_observed_extremes(self):
+        features = np.random.default_rng(12).random((200, 3))
+        railed = saturate_features(features, 0.5, rng=13)
+        changed = railed != features
+        lows, highs = features.min(axis=0), features.max(axis=0)
+        for column in range(3):
+            values = railed[changed[:, column], column]
+            assert np.all(np.isin(values, (lows[column], highs[column])))
+
+    def test_saturation_fraction(self):
+        features = np.random.default_rng(14).standard_normal((500, 10))
+        railed = saturate_features(features, 0.2, rng=15)
+        rate = float((railed != features).mean())
+        assert 0.15 < rate < 0.25
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_feature_noise(np.zeros((2, 2)), -0.1)
+
+    def test_bad_ber_rejected(self):
+        with pytest.raises(ValueError):
+            flip_sign_bits(np.ones(4), 1.5)

@@ -1,0 +1,165 @@
+"""BER sweep + schema + CLI: the fault harness end to end (CI-sized)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.schema import validate_faults_payload
+from repro.faults.sweep import MODEL_VARIANTS, SweepConfig, run_ber_sweep, write_faults_file
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    config = SweepConfig(
+        bers=(1e-3, 0.5),
+        dim=256,
+        n_features=24,
+        n_classes=4,
+        n_train=200,
+        n_test=120,
+        trials=2,
+        noise_sigmas=(0.2,),
+        retrain_iterations=1,
+    )
+    return run_ber_sweep(config)
+
+
+class TestSweep:
+    def test_payload_passes_schema(self, tiny_payload):
+        assert validate_faults_payload(tiny_payload) is tiny_payload
+
+    def test_covers_all_three_variants(self, tiny_payload):
+        assert [m["name"] for m in tiny_payload["models"]] == list(MODEL_VARIANTS)
+
+    def test_tiny_ber_is_nearly_harmless(self, tiny_payload):
+        for model in tiny_payload["models"]:
+            first = model["curve"][0]
+            assert first["ber"] == 1e-3
+            assert first["accuracy_drop"] < 0.1
+
+    def test_half_ber_destroys_the_model(self, tiny_payload):
+        """At BER 0.5 every stored bit is random: accuracy ≈ chance."""
+        chance = tiny_payload["checks"]["chance_accuracy"]
+        for model in tiny_payload["models"]:
+            worst = model["curve"][-1]
+            assert worst["ber"] == 0.5
+            assert worst["accuracy_mean"] < chance + 0.25
+
+    def test_plain_and_decorrelated_start_accurate(self, tiny_payload):
+        by_name = {m["name"]: m for m in tiny_payload["models"]}
+        assert by_name["plain"]["clean_accuracy"] > 0.8
+        assert by_name["decorrelated"]["clean_accuracy"] > 0.8
+
+    def test_noise_stats_present_only_for_compressed_variants(self, tiny_payload):
+        by_name = {m["name"]: m for m in tiny_payload["models"]}
+        assert by_name["plain"]["noise_clean"] is None
+        for variant in ("compressed", "decorrelated"):
+            assert by_name[variant]["noise_clean"] is not None
+            assert by_name[variant]["noise_at_max_ber"] is not None
+
+    def test_faults_grow_eq5_crosstalk(self, tiny_payload):
+        """Bit flips add noise on top of compression cross-talk (Eq. 5)."""
+        by_name = {m["name"]: m for m in tiny_payload["models"]}
+        decorrelated = by_name["decorrelated"]
+        assert (
+            decorrelated["noise_at_max_ber"]["noise_to_signal"]
+            > decorrelated["noise_clean"]["noise_to_signal"]
+        )
+
+    def test_feature_noise_section(self, tiny_payload):
+        assert len(tiny_payload["feature_noise"]) == 1
+        entry = tiny_payload["feature_noise"][0]
+        assert entry["sigma"] == 0.2
+        assert set(entry["accuracy"]) == set(MODEL_VARIANTS)
+
+    def test_deterministic_given_config(self):
+        config = SweepConfig(
+            bers=(0.01,), dim=128, n_features=16, n_classes=3,
+            n_train=90, n_test=60, trials=1, noise_sigmas=(), retrain_iterations=0,
+        )
+        first = run_ber_sweep(config)
+        second = run_ber_sweep(config)
+        first.pop("environment"), second.pop("environment")
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_rejects_empty_and_invalid_bers(self):
+        with pytest.raises(ValueError):
+            SweepConfig(bers=())
+        with pytest.raises(ValueError):
+            SweepConfig(bers=(2.0,))
+
+
+class TestSchemaRejections:
+    def test_rejects_wrong_version(self, tiny_payload):
+        bad = json.loads(json.dumps(tiny_payload))
+        bad["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_faults_payload(bad)
+
+    def test_rejects_missing_variant(self, tiny_payload):
+        bad = json.loads(json.dumps(tiny_payload))
+        bad["models"] = [m for m in bad["models"] if m["name"] != "decorrelated"]
+        with pytest.raises(ValueError, match="decorrelated"):
+            validate_faults_payload(bad)
+
+    def test_rejects_curve_length_mismatch(self, tiny_payload):
+        bad = json.loads(json.dumps(tiny_payload))
+        bad["models"][0]["curve"] = bad["models"][0]["curve"][:1]
+        with pytest.raises(ValueError, match="one point per swept BER"):
+            validate_faults_payload(bad)
+
+    def test_rejects_accuracy_out_of_range(self, tiny_payload):
+        bad = json.loads(json.dumps(tiny_payload))
+        bad["models"][0]["curve"][0]["accuracy_mean"] = 1.7
+        with pytest.raises(ValueError, match="accuracy_mean"):
+            validate_faults_payload(bad)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_faults_payload([])
+
+
+class TestWriteAndCli:
+    def test_write_faults_file(self, tmp_path, capsys):
+        config = SweepConfig(
+            bers=(0.01,), dim=128, n_features=16, n_classes=3,
+            n_train=90, n_test=60, trials=1, noise_sigmas=(), retrain_iterations=0,
+        )
+        path = write_faults_file(config, out_dir=tmp_path)
+        assert path.name == "BENCH_faults.json"
+        validate_faults_payload(json.loads(path.read_text()))
+        assert "max safe BER" in capsys.readouterr().out
+
+    def test_cli_faults_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        status = main(
+            ["faults", "--ber", "1e-3,1e-1", "--trials", "1", "--dim", "128",
+             "--out-dir", str(tmp_path)]
+        )
+        assert status == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads((tmp_path / "BENCH_faults.json").read_text())
+        validate_faults_payload(payload)
+        assert [p["ber"] for p in payload["models"][0]["curve"]] == [1e-3, 1e-1]
+
+    def test_cli_ber_range_parsing(self):
+        from repro.cli import _parse_ber_grid
+
+        grid = _parse_ber_grid("1e-4..1e-1", 4)
+        assert len(grid) == 4
+        assert grid[0] == pytest.approx(1e-4)
+        assert grid[-1] == pytest.approx(1e-1)
+        assert np.all(np.diff(grid) > 0)
+        assert _parse_ber_grid("0.001,0.01", 7) == (0.001, 0.01)
+
+    def test_cli_ber_range_rejects_garbage(self):
+        import argparse
+
+        from repro.cli import _parse_ber_grid
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_ber_grid("high..low", 3)
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_ber_grid("1e-1..1e-4", 3)

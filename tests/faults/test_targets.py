@@ -1,0 +1,105 @@
+"""Fault targeting: injection reaches inference, cleanly and reproducibly."""
+
+import numpy as np
+import pytest
+
+from repro.faults.targets import DEFAULT_TARGETS, FaultSpec, inject_classifier_faults
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_targets(self):
+        with pytest.raises(ValueError):
+            FaultSpec(ber=0.1, targets=("lookup_table", "dram"))
+
+    def test_rejects_out_of_range_ber(self):
+        with pytest.raises(ValueError):
+            FaultSpec(ber=1.5)
+
+    def test_rejects_empty_targets(self):
+        with pytest.raises(ValueError):
+            FaultSpec(ber=0.1, targets=())
+
+
+class TestInjection:
+    def test_requires_fitted_classifier(self):
+        from repro.lookhd.classifier import LookHDClassifier
+
+        with pytest.raises(RuntimeError):
+            inject_classifier_faults(LookHDClassifier(), FaultSpec(ber=0.1))
+
+    def test_clean_model_never_mutated(self, small_dataset, fitted_lookhd):
+        table_before = fitted_lookhd.encoder.lookup_table.table.copy()
+        classes_before = fitted_lookhd.class_model.class_vectors.copy()
+        compressed_before = fitted_lookhd.compressed_model.compressed.copy()
+        baseline = fitted_lookhd.score(small_dataset.test_features, small_dataset.test_labels)
+        faulted, _ = inject_classifier_faults(fitted_lookhd, FaultSpec(ber=0.2, seed=1))
+        faulted.score(small_dataset.test_features, small_dataset.test_labels)
+        assert np.array_equal(fitted_lookhd.encoder.lookup_table.table, table_before)
+        assert np.array_equal(fitted_lookhd.class_model.class_vectors, classes_before)
+        assert np.array_equal(fitted_lookhd.compressed_model.compressed, compressed_before)
+        assert fitted_lookhd.score(
+            small_dataset.test_features, small_dataset.test_labels
+        ) == pytest.approx(baseline)
+
+    def test_faults_actually_flow_through_inference(self, small_dataset, fitted_lookhd):
+        """Heavy faults must change scores — proof the caches were invalidated."""
+        clean_scores = fitted_lookhd.fused_engine().scores(small_dataset.test_features)
+        faulted, _ = inject_classifier_faults(fitted_lookhd, FaultSpec(ber=0.25, seed=2))
+        faulted_scores = faulted.fused_engine().scores(small_dataset.test_features)
+        assert not np.allclose(clean_scores, faulted_scores)
+
+    def test_fused_and_reference_paths_agree_on_faulted_model(
+        self, small_dataset, fitted_lookhd
+    ):
+        """The faulted model is still one coherent model: both inference
+        paths must serve identical predictions of it."""
+        faulted, _ = inject_classifier_faults(fitted_lookhd, FaultSpec(ber=0.02, seed=3))
+        assert np.array_equal(
+            np.atleast_1d(faulted.predict(small_dataset.test_features)),
+            np.atleast_1d(faulted.predict_reference(small_dataset.test_features)),
+        )
+
+    def test_same_seed_reproduces_identical_faults(self, small_dataset, fitted_lookhd):
+        spec = FaultSpec(ber=0.05, seed=11)
+        first, _ = inject_classifier_faults(fitted_lookhd, spec)
+        second, _ = inject_classifier_faults(fitted_lookhd, spec)
+        assert np.array_equal(
+            first.encoder.lookup_table.table, second.encoder.lookup_table.table
+        )
+        assert np.array_equal(
+            np.atleast_1d(first.predict(small_dataset.test_features)),
+            np.atleast_1d(second.predict(small_dataset.test_features)),
+        )
+
+    def test_zero_ber_keeps_predictions(self, small_dataset, fitted_lookhd):
+        # Only the fixed-point requantisation of the compressed model can
+        # move scores at BER 0, and it must not move predictions here.
+        faulted, report = inject_classifier_faults(fitted_lookhd, FaultSpec(ber=0.0))
+        assert np.array_equal(
+            np.atleast_1d(faulted.predict(small_dataset.test_features)),
+            np.atleast_1d(fitted_lookhd.predict(small_dataset.test_features)),
+        )
+        assert report.total_bits > 0
+        assert set(report.bits_per_target) == set(DEFAULT_TARGETS)
+
+    def test_target_subset_only_touches_that_memory(self, fitted_lookhd):
+        spec = FaultSpec(ber=0.3, targets=("positions",), seed=4)
+        faulted, report = inject_classifier_faults(fitted_lookhd, spec)
+        assert list(report.bits_per_target) == ["positions"]
+        assert np.array_equal(
+            faulted.encoder.lookup_table.table, fitted_lookhd.encoder.lookup_table.table
+        )
+        assert not np.array_equal(
+            faulted.encoder.position_memory.vectors,
+            fitted_lookhd.encoder.position_memory.vectors,
+        )
+
+    def test_uncompressed_classifier_skips_compressed_targets(self, small_dataset):
+        from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+        clf = LookHDClassifier(LookHDConfig(dim=256, levels=4, chunk_size=4, compress=False))
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        faulted, report = inject_classifier_faults(clf, FaultSpec(ber=0.01, seed=5))
+        assert "compressed" not in report.bits_per_target
+        assert "keys" not in report.bits_per_target
+        assert faulted.compressed_model is None

@@ -1,0 +1,143 @@
+"""NaN/inf and shape rejection at every public fit/predict entry point.
+
+A single NaN in a feature stream must fail loudly at the API boundary,
+not surface downstream as a quantizer bucket of garbage or a silently
+wrong class hypervector.  These tests sweep every classifier and the
+quantizer front-end with NaN, +inf, and -inf payloads, plus mismatched
+label shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mlp import MLPClassifier, MLPConfig
+from repro.baselines.nearest_centroid import NearestCentroidClassifier
+from repro.hdc.classifier import BaselineHDClassifier
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.quantization.equalized import EqualizedQuantizer
+
+BAD_VALUES = (np.nan, np.inf, -np.inf)
+
+
+@pytest.fixture(scope="module")
+def clean_data():
+    rng = np.random.default_rng(21)
+    labels = rng.integers(0, 3, size=60)
+    # Separable data so the happy-path sanity check is meaningful.
+    features = rng.standard_normal((60, 8)) + 2.0 * labels[:, np.newaxis]
+    return features, labels
+
+
+def _poison(features, value):
+    bad = features.copy()
+    bad[7, 3] = value
+    return bad
+
+
+def make_lookhd():
+    return LookHDClassifier(LookHDConfig(dim=128, levels=4, chunk_size=4, seed=0))
+
+
+def make_baseline_hd():
+    return BaselineHDClassifier(dim=128, levels=4, seed=0)
+
+
+def make_centroid():
+    return NearestCentroidClassifier()
+
+
+def make_mlp():
+    return MLPClassifier(MLPConfig(hidden_units=8, epochs=3, seed=0))
+
+
+ALL_MODELS = [make_lookhd, make_baseline_hd, make_centroid, make_mlp]
+
+
+class TestFitRejectsNonFinite:
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    @pytest.mark.parametrize("value", BAD_VALUES)
+    def test_fit_rejects(self, clean_data, make, value):
+        features, labels = clean_data
+        with pytest.raises(ValueError, match="non-finite"):
+            make().fit(_poison(features, value), labels)
+
+    @pytest.mark.parametrize("value", BAD_VALUES)
+    def test_quantizer_fit_transform_rejects(self, clean_data, value):
+        features, _ = clean_data
+        with pytest.raises(ValueError, match="non-finite"):
+            EqualizedQuantizer(4).fit_transform(_poison(features, value))
+
+    def test_error_message_counts_bad_values(self, clean_data):
+        features, labels = clean_data
+        bad = features.copy()
+        bad[0, 0] = np.nan
+        bad[1, 1] = np.inf
+        with pytest.raises(ValueError, match="2 non-finite"):
+            make_lookhd().fit(bad, labels)
+
+
+class TestPredictRejectsNonFinite:
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    @pytest.mark.parametrize("value", BAD_VALUES)
+    def test_predict_rejects(self, clean_data, make, value):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        with pytest.raises(ValueError, match="non-finite"):
+            model.predict(_poison(features, value))
+
+    @pytest.mark.parametrize("value", BAD_VALUES)
+    def test_quantizer_transform_rejects(self, clean_data, value):
+        features, _ = clean_data
+        quantizer = EqualizedQuantizer(4).fit(features)
+        with pytest.raises(ValueError, match="non-finite"):
+            quantizer.transform(_poison(features, value))
+
+
+class TestLabelValidation:
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_rejects_misaligned_labels(self, clean_data, make):
+        features, labels = clean_data
+        with pytest.raises(ValueError, match="labels"):
+            make().fit(features, labels[:-5])
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_rejects_2d_labels(self, clean_data, make):
+        features, labels = clean_data
+        with pytest.raises(ValueError, match="1-D"):
+            make().fit(features, labels.reshape(-1, 1))
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_rejects_negative_labels(self, clean_data, make):
+        features, labels = clean_data
+        bad = labels.copy()
+        bad[0] = -2
+        with pytest.raises(ValueError, match="negative"):
+            make().fit(features, bad)
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_rejects_fractional_float_labels(self, clean_data, make):
+        features, labels = clean_data
+        with pytest.raises(ValueError, match="integ"):
+            make().fit(features, labels.astype(np.float64) + 0.5)
+
+    def test_accepts_integral_float_labels(self, clean_data):
+        features, labels = clean_data
+        clf = make_lookhd()
+        clf.fit(features, labels.astype(np.float64))
+        assert clf.n_classes == int(labels.max()) + 1
+
+
+class TestShapeValidation:
+    def test_lookhd_fit_rejects_1d_features(self, clean_data):
+        _, labels = clean_data
+        with pytest.raises(ValueError):
+            make_lookhd().fit(np.zeros(60), labels)
+
+    def test_clean_data_still_fits_everywhere(self, clean_data):
+        """The validation layer must not break the happy path."""
+        features, labels = clean_data
+        for make in ALL_MODELS:
+            model = make()
+            model.fit(features, labels)
+            assert model.score(features, labels) > 0.3

@@ -6,12 +6,14 @@ rounding, across quantization levels, grouping modes, decorrelation, and
 through retraining-driven invalidation.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
 from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
-from repro.lookhd.inference import FusedInferenceEngine
+from repro.lookhd.inference import FusedFallbackWarning, FusedInferenceEngine
 
 
 @pytest.fixture(scope="module")
@@ -116,15 +118,15 @@ class TestFusedEquivalence:
         fused = fit(dataset)
         fallback = fit(dataset, score_table_budget_bytes=1)
         assert not fallback.fused_engine().enabled
-        assert np.array_equal(
-            fused.predict(dataset.test_features),
-            fallback.predict(dataset.test_features),
-        )
+        with pytest.warns(FusedFallbackWarning):
+            predictions = fallback.predict(dataset.test_features)
+        assert np.array_equal(fused.predict(dataset.test_features), predictions)
 
     def test_disabled_engine_raises_on_direct_use(self, dataset):
         clf = fit(dataset, score_table_budget_bytes=1)
-        with pytest.raises(RuntimeError):
-            clf.fused_engine().scores(dataset.test_features)
+        with pytest.warns(FusedFallbackWarning):
+            with pytest.raises(RuntimeError, match="predict"):
+                clf.fused_engine().scores(dataset.test_features)
 
     def test_engine_rejects_dimension_mismatch(self, dataset):
         clf = fit(dataset)
@@ -154,6 +156,47 @@ class TestFusedEquivalence:
             engine.scores(dataset.test_features),
             reference_scores(clf, dataset.test_features),
         )
+
+
+class TestFallbackObservability:
+    def test_enabled_engine_reports_no_fallback(self, dataset):
+        clf = fit(dataset)
+        engine = clf.fused_engine()
+        assert engine.enabled
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", FusedFallbackWarning)
+            clf.predict(dataset.test_features)
+        assert engine.fallback_reason is None
+
+    def test_fallback_sets_queryable_reason(self, dataset):
+        clf = fit(dataset, score_table_budget_bytes=1)
+        engine = clf.fused_engine()
+        assert engine.fallback_reason is None  # nothing served yet
+        with pytest.warns(FusedFallbackWarning):
+            clf.predict(dataset.test_features)
+        reason = engine.fallback_reason
+        assert reason is not None
+        # Actionable: states the footprint, the geometry, and the budget.
+        assert "bytes" in reason and "budget is 1" in reason
+        assert f"k={clf.n_classes}" in reason
+
+    def test_fallback_warns_exactly_once(self, dataset):
+        clf = fit(dataset, score_table_budget_bytes=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            clf.predict(dataset.test_features)
+            clf.predict(dataset.test_features)
+            clf.score(dataset.test_features, dataset.test_labels)
+        fallback_warnings = [
+            w for w in caught if issubclass(w.category, FusedFallbackWarning)
+        ]
+        assert len(fallback_warnings) == 1
+
+    def test_fallback_predictions_still_exact(self, dataset):
+        clf = fit(dataset, score_table_budget_bytes=1)
+        with pytest.warns(FusedFallbackWarning):
+            predictions = clf.predict(dataset.test_features)
+        assert np.array_equal(predictions, clf.predict_reference(dataset.test_features))
 
 
 class TestEncoderFastPath:

@@ -1,8 +1,10 @@
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
-from repro.lookhd.persistence import load_classifier, save_classifier
+from repro.lookhd.persistence import ArtifactError, load_classifier, save_classifier
 
 
 class TestPersistenceRoundTrip:
@@ -61,3 +63,149 @@ class TestPersistenceRoundTrip:
         assert restored.config.dim == fitted_lookhd.config.dim
         assert restored.config.levels == fitted_lookhd.config.levels
         assert restored.n_classes == fitted_lookhd.n_classes
+
+    @pytest.mark.parametrize("compress", [True, False])
+    @pytest.mark.parametrize("decorrelate", [True, False])
+    @pytest.mark.parametrize("group_size", [None, 3, 12])
+    def test_round_trip_bit_exact_across_config_grid(
+        self, small_dataset, tmp_path, compress, decorrelate, group_size
+    ):
+        """Every (compress × decorrelate × group_size) cell must reload to a
+        model that predicts bit-for-bit identically."""
+        clf = LookHDClassifier(
+            LookHDConfig(
+                dim=256,
+                levels=4,
+                chunk_size=4,
+                compress=compress,
+                decorrelate=decorrelate,
+                group_size=group_size,
+                seed=9,
+            )
+        )
+        clf.fit(small_dataset.train_features, small_dataset.train_labels)
+        path = save_classifier(clf, tmp_path / "grid.npz")
+        restored = load_classifier(path)
+        assert np.array_equal(
+            np.atleast_1d(clf.predict(small_dataset.test_features)),
+            np.atleast_1d(restored.predict(small_dataset.test_features)),
+        )
+        if compress:
+            queries = clf.encoder.encode_many(small_dataset.test_features[:16])
+            assert np.allclose(
+                clf.compressed_model.scores(queries),
+                restored.compressed_model.scores(queries),
+            )
+
+
+class TestSavePath:
+    def test_returned_path_exists(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        assert path.exists()
+
+    def test_suffixless_path_returns_actual_npz(self, fitted_lookhd, tmp_path):
+        """Regression: numpy appends .npz; the returned path must be the
+        file that is actually on disk."""
+        path = save_classifier(fitted_lookhd, tmp_path / "model")
+        assert path == tmp_path / "model.npz"
+        assert path.exists()
+        load_classifier(path)
+
+    def test_odd_suffixes_still_return_existing_file(self, fitted_lookhd, tmp_path):
+        for name in ("model.v2", "model.", ".hidden"):
+            path = save_classifier(fitted_lookhd, tmp_path / name)
+            assert path.exists(), name
+            load_classifier(path)
+
+
+def _corrupt_member_bytes(path, member_suffix, offset=None):
+    """Flip one byte inside a stored array of the .npz (a zip archive)."""
+    with zipfile.ZipFile(path) as archive:
+        names = [n for n in archive.namelist() if n.endswith(member_suffix)]
+        assert names, f"no member matching {member_suffix}"
+        contents = {n: archive.read(n) for n in archive.namelist()}
+    target = names[0]
+    raw = bytearray(contents[target])
+    position = len(raw) // 2 if offset is None else offset
+    raw[position] ^= 0xFF
+    contents[target] = bytes(raw)
+    with zipfile.ZipFile(path, "w") as archive:
+        for name, data in contents.items():
+            archive.writestr(name, data)
+
+
+class TestCorruptionDetection:
+    def test_flipped_bytes_in_class_vectors_rejected(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        _corrupt_member_bytes(path, "class_vectors.npy")
+        with pytest.raises(ArtifactError, match="checksum"):
+            load_classifier(path)
+
+    def test_flipped_bytes_in_lookup_memory_rejected(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        _corrupt_member_bytes(path, "level_vectors.npy")
+        with pytest.raises(ArtifactError, match="corrupted"):
+            load_classifier(path)
+
+    def test_unknown_format_version_rejected(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["format_version"] = np.int64(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="format version 99"):
+            load_classifier(path)
+
+    def test_missing_required_key_rejected(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        del payload["position_vectors"]
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="position_vectors"):
+            load_classifier(path)
+
+    def test_truncated_compressed_payload_rejected(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        del payload["keys"]
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="keys"):
+            load_classifier(path)
+
+    def test_non_npz_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ArtifactError, match="not a readable"):
+            load_classifier(path)
+
+    def test_geometry_mismatch_rejected(self, fitted_lookhd, tmp_path):
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        # Tamper consistently: shrink the declared dim but keep the arrays,
+        # and drop the checksum manifest as an attacker-with-partial-care
+        # would; version 1 has no checksums, so shape checks must catch it.
+        payload["format_version"] = np.int64(1)
+        payload.pop("checksums")
+        payload["dim"] = np.int64(64)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ArtifactError, match="geometry"):
+            load_classifier(path)
+
+    def test_version1_artifact_without_checksums_loads(
+        self, small_dataset, fitted_lookhd, tmp_path
+    ):
+        """Backwards compatibility: pre-checksum artifacts stay loadable."""
+        path = save_classifier(fitted_lookhd, tmp_path / "model.npz")
+        with np.load(path) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["format_version"] = np.int64(1)
+        payload.pop("checksums")
+        np.savez_compressed(path, **payload)
+        restored = load_classifier(path)
+        assert np.array_equal(
+            np.atleast_1d(restored.predict(small_dataset.test_features)),
+            np.atleast_1d(fitted_lookhd.predict(small_dataset.test_features)),
+        )

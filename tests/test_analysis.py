@@ -78,6 +78,31 @@ class TestRobustnessCurve:
             small_dataset.test_features, small_dataset.test_labels
         ) == pytest.approx(clean)
 
+    def test_heavy_flips_actually_degrade(self):
+        """Regression: the curve must evaluate the *faulted* model.
+
+        Swapping ``comp.compressed`` without ``mark_dirty()`` left the
+        cached search matrix (and fused score table) serving the clean
+        model, so every point reported clean accuracy.  Flipping 45% of
+        stored bits must visibly hurt."""
+        from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+
+        spec = SyntheticSpec(
+            n_features=24, n_classes=6, n_train=300, n_test=150, seed=1
+        )
+        dataset = make_synthetic_classification(spec)
+        clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=3))
+        clf.fit(dataset.train_features, dataset.train_labels)
+        clf.predict(dataset.test_features)  # warm the fused engine
+        curve = robustness_curve(
+            clf,
+            dataset.test_features,
+            dataset.test_labels,
+            flip_fractions=(0.0, 0.45),
+        )
+        assert curve[0].accuracy > 0.9
+        assert curve[1].accuracy < curve[0].accuracy - 0.08
+
     def test_requires_compression(self, small_dataset):
         clf = LookHDClassifier(
             LookHDConfig(dim=256, levels=4, chunk_size=4, compress=False)

@@ -29,6 +29,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.bench.schema import SCHEMA_VERSION, validate_bench_payload
 from repro.bench.workloads import BenchWorkload, profile_workloads
 from repro.hdc.model import ClassModel
@@ -103,7 +104,15 @@ def run_inference_bench(
     repeats: int = DEFAULT_REPEATS,
     profile: str = "custom",
 ) -> dict:
-    """Time encode + batch predict, fused vs reference, per workload."""
+    """Time encode + batch predict, fused vs reference, per workload.
+
+    The timed stages run with telemetry in its (disabled) default state so
+    the numbers stay honest; afterwards one extra instrumented predict
+    pass per workload is collected into the payload's ``telemetry`` block,
+    so every ``BENCH_inference.json`` also records path selection, fused
+    hits, and any fallbacks for the exact models it timed.
+    """
+    registry = telemetry.MetricsRegistry(enabled=True)
     entries = []
     for workload in workloads:
         data = workload.make_dataset()
@@ -121,6 +130,10 @@ def run_inference_bench(
             ),
             "predict_fused": _time_stage(lambda: clf.predict(test), test.shape[0], repeats),
         }
+        with telemetry.activated(registry):
+            # Both timed stages: encode path selection + fused prediction.
+            clf.encoder.encode_many(test)
+            clf.predict(test)
         fused_predictions = np.asarray(clf.predict(test))
         reference_predictions = np.asarray(clf.predict_reference(test))
         outputs_match = bool(np.array_equal(fused_predictions, reference_predictions))
@@ -156,6 +169,7 @@ def run_inference_bench(
         "profile": profile,
         "environment": _environment(),
         "workloads": entries,
+        "telemetry": registry.snapshot(),
     }
     return validate_bench_payload(payload, "inference")
 
@@ -165,7 +179,14 @@ def run_training_bench(
     repeats: int = DEFAULT_REPEATS,
     profile: str = "custom",
 ) -> dict:
-    """Time counter training vs encode-and-accumulate, per workload."""
+    """Time counter training vs encode-and-accumulate, per workload.
+
+    Like :func:`run_inference_bench`, timing runs with telemetry off; one
+    instrumented counter-training pass per workload feeds the payload's
+    ``telemetry`` block (samples/sec via the trainer timer, chunk
+    addresses observed).
+    """
+    registry = telemetry.MetricsRegistry(enabled=True)
     entries = []
     for workload in workloads:
         data = workload.make_dataset()
@@ -190,7 +211,8 @@ def run_training_bench(
             "train_reference": _time_stage(train_reference, train_x.shape[0], repeats),
             "train_lookup": _time_stage(train_lookup, train_x.shape[0], repeats),
         }
-        lookup_vectors = train_lookup().class_vectors
+        with telemetry.activated(registry):
+            lookup_vectors = train_lookup().class_vectors
         reference_vectors = train_reference().class_vectors
         entries.append(
             {
@@ -213,6 +235,7 @@ def run_training_bench(
         "profile": profile,
         "environment": _environment(),
         "workloads": entries,
+        "telemetry": registry.snapshot(),
     }
     return validate_bench_payload(payload, "training")
 

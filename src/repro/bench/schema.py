@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from numbers import Real
 
+from repro.telemetry.schema import validate_snapshot
+
 SCHEMA_VERSION = 1
 
 #: Timing stanzas required per workload, by benchmark kind.
@@ -95,4 +97,11 @@ def validate_bench_payload(payload: object, benchmark: str | None = None) -> dic
             isinstance(checks.get("outputs_sha256"), str),
             f"workload {label!r} missing outputs_sha256 checksum",
         )
+    # Optional so pre-telemetry payloads keep validating; the current
+    # runner always embeds an instrumented-pass snapshot.
+    if "telemetry" in payload:
+        try:
+            validate_snapshot(payload["telemetry"])
+        except ValueError as error:
+            _require(False, f"telemetry block invalid: {error}")
     return payload

@@ -5,6 +5,7 @@
     python -m repro experiment fig04 table01 ...
     python -m repro bench --profile full
     python -m repro faults --ber 1e-4..1e-1
+    python -m repro stats --out STATS.json
     python -m repro list
 
 Training/evaluation run on the built-in synthetic stand-ins or on a
@@ -156,6 +157,36 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.telemetry.stats import (
+        StatsWorkload,
+        measure_disabled_overhead,
+        write_stats_file,
+    )
+
+    overhead = None
+    if args.overhead_gate is not None:
+        overhead = measure_disabled_overhead(repeats=args.overhead_repeats)
+        print(
+            f"disabled-telemetry overhead: {overhead['overhead_fraction']:+.2%} "
+            f"(instrumented {overhead['instrumented_seconds']:.6f}s vs "
+            f"baseline {overhead['baseline_seconds']:.6f}s, "
+            f"best of {overhead['repeats']})"
+        )
+    path = write_stats_file(
+        args.out, workload=StatsWorkload(seed=args.seed), overhead=overhead
+    )
+    print(f"wrote {path}")
+    if overhead is not None and overhead["overhead_fraction"] > args.overhead_gate:
+        print(
+            f"FAIL: disabled-telemetry overhead {overhead['overhead_fraction']:.2%} "
+            f"exceeds the {args.overhead_gate:.0%} gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_list(args) -> int:
     from repro.bench.workloads import profile_names
 
@@ -234,6 +265,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--out-dir", default=".", help="directory for BENCH_faults.json")
     faults.set_defaults(func=_cmd_faults)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented workload and write a telemetry snapshot",
+    )
+    stats.add_argument(
+        "--out", default="STATS.json", help="path for the snapshot JSON report"
+    )
+    stats.add_argument("--seed", type=int, default=11)
+    stats.add_argument(
+        "--overhead-gate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="also measure disabled-telemetry overhead on the bench predict "
+        "micro-workload and exit non-zero if it exceeds this fraction (e.g. 0.05)",
+    )
+    stats.add_argument(
+        "--overhead-repeats",
+        type=_positive_int,
+        default=7,
+        help="timing repeats for the overhead measurement (best-of)",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     lister = sub.add_parser("list", help="list applications and experiments")
     lister.set_defaults(func=_cmd_list)

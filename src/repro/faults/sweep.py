@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
 from repro.faults.injectors import gaussian_feature_noise
 from repro.faults.schema import FAULTS_SCHEMA_VERSION, validate_faults_payload
@@ -170,6 +171,9 @@ def run_ber_sweep(config: SweepConfig) -> dict:
                     fixed_point_width=config.fixed_point_width,
                 )
                 faulted, fault_report = inject_classifier_faults(clf, spec)
+                for target, bits in fault_report.bits_per_target.items():
+                    telemetry.count("faults.injections", target=target)
+                    telemetry.count("faults.bits_exposed", bits, target=target)
                 accuracies.append(faulted.score(test_x, test_y))
                 if exposed_bits_total is None:
                     exposed_bits_total = fault_report.total_bits

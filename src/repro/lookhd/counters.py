@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.utils.validation import check_positive_int
 
 
@@ -62,6 +63,7 @@ class ChunkCounters:
             flat, minlength=self.n_chunks * self.n_rows
         ).reshape(self.n_chunks, self.n_rows)
         self.n_samples += addresses.shape[0]
+        telemetry.count("counters.addresses_observed", addresses.size)
 
     def materialize(self, table: np.ndarray, positions: np.ndarray) -> np.ndarray:
         """Produce the class hypervector from counters, table, and positions.

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.hdc.item_memory import RandomItemMemory
 from repro.hdc.ops import ACCUM_DTYPE
 from repro.lookhd.chunking import ChunkLayout
@@ -161,6 +162,9 @@ class LookupEncoder:
         if prebound is not None:
             for chunk in range(self.layout.n_chunks):
                 encoded += prebound[chunk][addresses[:, chunk]]
+            telemetry.count("encoder.encode.batches", path="prebound")
+            telemetry.count("encoder.encode.samples", encoded.shape[0])
+            telemetry.count("encoder.encode.bytes", encoded.nbytes)
             return encoded
         table = self.lookup_table.table
         positions = self.position_memory.vectors
@@ -169,6 +173,9 @@ class LookupEncoder:
             if self.bind_positions:
                 chunk_hvs *= positions[chunk]
             encoded += chunk_hvs
+        telemetry.count("encoder.encode.batches", path="raw_table")
+        telemetry.count("encoder.encode.samples", encoded.shape[0])
+        telemetry.count("encoder.encode.bytes", encoded.nbytes)
         return encoded
 
     def encode_reference(self, features: np.ndarray) -> np.ndarray:

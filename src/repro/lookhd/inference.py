@@ -36,6 +36,7 @@ import warnings
 
 import numpy as np
 
+from repro import telemetry
 from repro.hdc.model import ClassModel
 from repro.lookhd.compression import CompressedModel
 from repro.lookhd.encoder import LookupEncoder
@@ -127,6 +128,7 @@ class FusedInferenceEngine:
             f"k={self.n_classes}) but the budget is {self.budget_bytes} bytes; "
             "serving the exact hypervector-domain path instead"
         )
+        telemetry.count("inference.fused.fallbacks", reason="score_table_over_budget")
         if not self._fallback_warned:
             warnings.warn(self.fallback_reason, FusedFallbackWarning, stacklevel=3)
             self._fallback_warned = True
@@ -144,7 +146,12 @@ class FusedInferenceEngine:
         if not self.enabled:
             return None
         if self._score_table is None or self._built_version != self.model.version:
-            self._score_table = self._build()
+            with telemetry.timer("inference.score_table.build_seconds"):
+                self._score_table = self._build()
+            telemetry.count(
+                "inference.score_table.builds",
+                trigger="initial" if self._built_version is None else "version_change",
+            )
             self._built_version = self.model.version
         return self._score_table
 
@@ -181,6 +188,8 @@ class FusedInferenceEngine:
         out = np.zeros((addresses.shape[0], self.n_classes), dtype=np.float64)
         for chunk in range(addresses.shape[1]):
             out += table[chunk][addresses[:, chunk]]
+        telemetry.count("inference.fused.queries", out.shape[0])
+        telemetry.count("inference.fused.batches")
         return out
 
     def scores(self, features: np.ndarray) -> np.ndarray:

@@ -19,11 +19,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.hdc.model import ClassModel
 from repro.hdc.similarity import cosine_similarity
 from repro.lookhd.compression import CompressedModel
 from repro.lookhd.encoder import LookupEncoder
-from repro.utils.validation import check_2d, check_positive_int
+from repro.utils.validation import check_2d, check_finite, check_labels, check_positive_int
+
+#: Histogram buckets for the rival-push magnitude ``rival_sim − own_sim``
+#: (bounded by 2 for cosine similarities).
+_RIVAL_PUSH_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
 
 
 class OnlineLookHD:
@@ -50,17 +55,21 @@ class OnlineLookHD:
         self.samples_seen = 0
 
     def partial_fit(self, features: np.ndarray, labels: np.ndarray) -> None:
-        """Consume a batch in one adaptive pass (order-dependent)."""
-        batch = check_2d(features, "features")
-        labels = np.asarray(labels)
-        if labels.shape[0] != batch.shape[0]:
-            raise ValueError("labels must align with features")
-        if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
+        """Consume a batch in one adaptive pass (order-dependent).
+
+        Inputs are validated like every other public ``fit``: a batch
+        containing NaN/inf raises *before* any state is touched, so a bad
+        sensor window can never poison the adaptive weights.
+        """
+        batch = check_finite(check_2d(features, "features"), "features")
+        labels = check_labels(labels, "labels", n_samples=batch.shape[0])
+        if labels.max() >= self.n_classes:
             raise ValueError(f"labels must be in [0, {self.n_classes})")
         encoded = self.encoder.encode(batch).astype(np.float64)
         norms = np.linalg.norm(encoded, axis=1, keepdims=True)
         norms[norms == 0] = 1.0
         encoded = encoded / norms
+        rival_pushes = []
         for sample, label in zip(encoded, labels):
             similarities = np.asarray(cosine_similarity(sample, self._model))
             correct = int(label)
@@ -73,13 +82,28 @@ class OnlineLookHD:
                 rival_sim = similarities[rival]
                 if rival_sim > own:
                     self._model[rival] -= self.learning_rate * (rival_sim - own) * sample
+                    rival_pushes.append(float(rival_sim - own))
             self.samples_seen += 1
+        telemetry.count("online.samples", batch.shape[0])
+        telemetry.count("online.updates.applied", len(rival_pushes))
+        telemetry.count("online.updates.skipped", batch.shape[0] - len(rival_pushes))
+        if telemetry.is_enabled():
+            for magnitude in rival_pushes:
+                telemetry.observe(
+                    "online.rival_push", magnitude, buckets=_RIVAL_PUSH_BUCKETS
+                )
 
     def class_model(self) -> ClassModel:
-        """Snapshot the adaptive weights as an (integer-scaled) ClassModel."""
+        """Snapshot the adaptive weights as an (integer-scaled) ClassModel.
+
+        An untrained (or degenerately all-zero) learner snapshots to an
+        all-zero model with scale 1.0, not a ``1000 / 1e-12`` blow-up of
+        numerical dust.
+        """
         model = ClassModel(self.n_classes, self.encoder.dim)
+        peak = float(np.abs(self._model).max()) if self._model.size else 0.0
         # Scale so rounding keeps ~3 significant digits per element.
-        scale = 1000.0 / max(1e-12, np.abs(self._model).max())
+        scale = 1.0 if peak == 0.0 else 1000.0 / peak
         model.class_vectors = np.round(self._model * scale).astype(np.int64)
         return model
 
@@ -88,13 +112,22 @@ class OnlineLookHD:
         return CompressedModel(self.class_model(), **kwargs)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        """Classify with the current adaptive weights."""
+        """Classify with the current adaptive weights.
+
+        A single ``(n,)`` sample returns a scalar ``int``; an ``(N, n)``
+        batch returns an ``(N,)`` array — including ``N == 0``, which
+        returns an empty array rather than tripping on downstream shapes.
+        """
         single = np.asarray(features).ndim == 1
-        encoded = self.encoder.encode(features).astype(np.float64)
+        batch = check_finite(check_2d(features, "features"), "features")
+        if batch.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        encoded = self.encoder.encode(batch).astype(np.float64)
         scores = np.atleast_2d(cosine_similarity(np.atleast_2d(encoded), self._model))
         predictions = np.argmax(scores, axis=1)
         return int(predictions[0]) if single else predictions
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         predictions = np.atleast_1d(self.predict(features))
-        return float(np.mean(predictions == np.asarray(labels)))
+        labels = check_labels(labels, "labels", n_samples=predictions.shape[0])
+        return float(np.mean(predictions == labels))

@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import telemetry
 from repro.hdc.item_memory import LevelItemMemory, RandomItemMemory
 from repro.hdc.model import ClassModel
 from repro.lookhd.chunking import ChunkLayout
@@ -94,6 +95,11 @@ def save_classifier(clf: LookHDClassifier, path: str | Path) -> Path:
 
     Returns the actual on-disk path (NumPy appends ``.npz`` when missing).
     """
+    with telemetry.timer("persistence.save_seconds"):
+        return _save_classifier(clf, path)
+
+
+def _save_classifier(clf: LookHDClassifier, path: str | Path) -> Path:
     if clf.encoder is None or clf.class_model is None:
         raise RuntimeError("classifier must be fitted before saving")
     cfg = clf.config
@@ -125,6 +131,7 @@ def save_classifier(clf: LookHDClassifier, path: str | Path) -> Path:
     checksums = {
         name: _array_digest(np.asarray(value)) for name, value in payload.items()
     }
+    telemetry.count("persistence.arrays_checksummed", len(checksums))
     payload["checksums"] = json.dumps(checksums, sort_keys=True)
     path = Path(path)
     np.savez_compressed(path, **payload)
@@ -163,7 +170,9 @@ def _verify_checksums(archive, path: Path) -> None:
     for name, expected in sorted(manifest.items()):
         stored = _read_required(archive, name, path)
         actual = _array_digest(np.asarray(stored))
+        telemetry.count("persistence.checksums_verified")
         if actual != expected:
+            telemetry.count("persistence.checksum_failures")
             raise ArtifactError(
                 f"artifact {path} failed the checksum for array {name!r} "
                 f"(stored {expected[:12]}…, computed {actual[:12]}…); the file "
@@ -184,6 +193,11 @@ def load_classifier(path: str | Path) -> LookHDClassifier:
         unsupported, a required key is missing, or any array fails its
         checksum.  Corruption never degrades into a silently wrong model.
     """
+    with telemetry.timer("persistence.load_seconds"):
+        return _load_classifier(path)
+
+
+def _load_classifier(path: str | Path) -> LookHDClassifier:
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)

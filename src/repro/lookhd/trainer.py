@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.hdc.model import ClassModel
 from repro.lookhd.counters import ChunkCounters
 from repro.lookhd.encoder import LookupEncoder
@@ -61,14 +62,17 @@ class LookHDTrainer:
             raise ValueError("labels must be 1-D and align with features")
         if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
             raise ValueError(f"labels must be in [0, {self.n_classes})")
-        addresses = self.encoder.addresses(batch)  # (N, m)
-        for class_index in range(self.n_classes):
-            mask = labels == class_index
-            if np.any(mask):
-                self.counters[class_index].observe(addresses[mask])
+        with telemetry.timer("trainer.observe_seconds"):
+            addresses = self.encoder.addresses(batch)  # (N, m)
+            for class_index in range(self.n_classes):
+                mask = labels == class_index
+                if np.any(mask):
+                    self.counters[class_index].observe(addresses[mask])
+        telemetry.count("trainer.samples_observed", batch.shape[0])
 
     def build_model(self) -> ClassModel:
         """Materialise class hypervectors from the counters (steps E–F)."""
+        telemetry.count("trainer.models_built")
         model = ClassModel(self.n_classes, self.encoder.dim)
         table = self.encoder.lookup_table.table
         if self.encoder.bind_positions:

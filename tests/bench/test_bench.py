@@ -81,6 +81,29 @@ class TestPayloads:
         parsed = json.loads(json.dumps(inference_payload))
         validate_bench_payload(parsed, "inference")
 
+    def test_inference_payload_embeds_telemetry(self, inference_payload):
+        counters = inference_payload["telemetry"]["counters"]
+        # One instrumented predict pass per workload: fused hits and
+        # encoder path selection must be on the record.
+        assert counters["inference.fused.queries"] >= TINY[0].n_test
+        assert any(name.startswith("encoder.encode.batches{") for name in counters)
+
+    def test_training_payload_embeds_telemetry(self, training_payload):
+        telemetry_block = training_payload["telemetry"]
+        assert telemetry_block["counters"]["trainer.samples_observed"] >= TINY[0].n_train
+        assert telemetry_block["timers"]["trainer.observe_seconds"]["count"] >= 1
+
+    def test_rejects_malformed_telemetry_block(self, inference_payload):
+        bad = json.loads(json.dumps(inference_payload))
+        bad["telemetry"] = {"counters": {"c": "not-an-int"}, "timers": {}, "histograms": {}}
+        with pytest.raises(ValueError):
+            validate_bench_payload(bad, "inference")
+
+    def test_payload_without_telemetry_still_validates(self, inference_payload):
+        legacy = json.loads(json.dumps(inference_payload))
+        del legacy["telemetry"]
+        validate_bench_payload(legacy, "inference")
+
 
 class TestSchemaValidator:
     def test_rejects_non_object(self):

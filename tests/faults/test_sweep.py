@@ -90,6 +90,27 @@ class TestSweep:
             SweepConfig(bers=(2.0,))
 
 
+class TestSweepTelemetry:
+    def test_injection_counters_recorded(self):
+        from repro import telemetry
+
+        config = SweepConfig(
+            bers=(0.01,), dim=128, n_features=16, n_classes=3,
+            n_train=90, n_test=60, trials=1, noise_sigmas=(), retrain_iterations=0,
+        )
+        with telemetry.enabled() as registry:
+            run_ber_sweep(config)
+            snap = registry.snapshot()
+        injections = {
+            name: value
+            for name, value in snap["counters"].items()
+            if name.startswith("faults.injections{")
+        }
+        assert injections, "sweep must record per-target injection counters"
+        assert all(value > 0 for value in injections.values())
+        assert any(name.startswith("faults.bits_exposed{") for name in snap["counters"])
+
+
 class TestSchemaRejections:
     def test_rejects_wrong_version(self, tiny_payload):
         bad = json.loads(json.dumps(tiny_payload))

@@ -92,3 +92,16 @@ class TestLookupEncoder:
         b = make_encoder(seed=5)
         sample = np.random.default_rng(9).random(12)
         assert np.array_equal(a.encode(sample), b.encode(sample))
+
+    def test_single_sample_matches_batch_row(self):
+        # 1-D parity: encode(x) must be bit-identical to encode(X)[i] on
+        # both the pre-bound and the raw-table (bind-on-the-fly) paths.
+        batch = np.random.default_rng(10).random((6, 12))
+        for prebind_budget in (2**30, 0):
+            encoder = make_encoder()
+            encoder.prebind_budget_bytes = prebind_budget
+            encoded_batch = encoder.encode(batch)
+            for index in range(batch.shape[0]):
+                single = encoder.encode(batch[index])
+                assert single.shape == (encoder.dim,)
+                assert np.array_equal(single, encoded_batch[index])

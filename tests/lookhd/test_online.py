@@ -65,3 +65,92 @@ class TestOnlineLookHD:
         assert isinstance(
             online.predict(small_dataset.test_features[0]), (int, np.integer)
         )
+
+
+class TestInputHardening:
+    """Regression tests for the PR-2 hardening gap: OnlineLookHD was the
+    one public fit/predict surface without check_finite/check_labels."""
+
+    def test_nan_batch_raises_and_leaves_model_untouched(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features[:20], small_dataset.train_labels[:20])
+        model_before = online._model.copy()
+        seen_before = online.samples_seen
+        poisoned = small_dataset.train_features[:8].copy()
+        poisoned[3, 5] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            online.partial_fit(poisoned, small_dataset.train_labels[:8])
+        assert np.array_equal(online._model, model_before)
+        assert online.samples_seen == seen_before
+
+    def test_inf_batch_raises(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        bad = small_dataset.train_features[:4].copy()
+        bad[0, 0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            online.partial_fit(bad, small_dataset.train_labels[:4])
+
+    def test_predict_rejects_nan(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features[:20], small_dataset.train_labels[:20])
+        query = small_dataset.test_features[:3].copy()
+        query[1, 2] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            online.predict(query)
+
+    def test_misaligned_labels_rejected(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        with pytest.raises(ValueError, match="align"):
+            online.partial_fit(
+                small_dataset.train_features[:5], small_dataset.train_labels[:4]
+            )
+
+    def test_fractional_labels_rejected(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        with pytest.raises(ValueError):
+            online.partial_fit(small_dataset.train_features[:2], np.array([0.5, 1.0]))
+
+
+class TestDegenerateStates:
+    def test_untrained_class_model_is_all_zero(self, encoder):
+        online = OnlineLookHD(encoder, 3)
+        model = online.class_model()
+        assert model.class_vectors.shape == (3, encoder.dim)
+        assert model.class_vectors.dtype == np.int64
+        assert not model.class_vectors.any()
+
+    def test_untrained_snapshot_round_trip_after_training(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        assert not online.class_model().class_vectors.any()  # untrained: zeros
+        online.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        snapshot = online.class_model()
+        # ~3 significant digits survive the integer scaling: the snapshot
+        # model must agree with the live learner on (nearly) every query.
+        encoded = encoder.encode(small_dataset.test_features)
+        snapshot_predictions = np.atleast_1d(snapshot.predict(encoded))
+        live_predictions = np.atleast_1d(online.predict(small_dataset.test_features))
+        assert np.mean(snapshot_predictions == live_predictions) > 0.98
+
+    def test_empty_batch_predict_returns_empty_array(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features[:20], small_dataset.train_labels[:20])
+        empty = np.empty((0, small_dataset.train_features.shape[1]))
+        predictions = online.predict(empty)
+        assert isinstance(predictions, np.ndarray)
+        assert predictions.shape == (0,)
+
+    def test_empty_partial_fit_rejected(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        empty = np.empty((0, small_dataset.train_features.shape[1]))
+        with pytest.raises(ValueError):
+            online.partial_fit(empty, np.empty((0,), dtype=np.int64))
+
+
+class TestBatchParity:
+    def test_single_sample_matches_batch_predictions(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        queries = small_dataset.test_features[:10]
+        batch_predictions = online.predict(queries)
+        singles = [online.predict(queries[i]) for i in range(queries.shape[0])]
+        assert np.array_equal(batch_predictions, np.asarray(singles))

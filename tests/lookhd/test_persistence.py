@@ -134,6 +134,23 @@ def _corrupt_member_bytes(path, member_suffix, offset=None):
             archive.writestr(name, data)
 
 
+class TestPersistenceTelemetry:
+    def test_round_trip_records_timers_and_checksums(self, fitted_lookhd, tmp_path):
+        from repro import telemetry
+
+        with telemetry.enabled() as registry:
+            path = save_classifier(fitted_lookhd, tmp_path / "telemetry.npz")
+            load_classifier(path)
+            snap = registry.snapshot()
+        assert snap["timers"]["persistence.save_seconds"]["count"] == 1
+        assert snap["timers"]["persistence.load_seconds"]["count"] == 1
+        checksummed = snap["counters"]["persistence.arrays_checksummed"]
+        assert checksummed > 0
+        # Every checksummed array is verified at load.
+        assert snap["counters"]["persistence.checksums_verified"] == checksummed
+        assert "persistence.checksum_failures" not in snap["counters"]
+
+
 class TestCorruptionDetection:
     def test_flipped_bytes_in_class_vectors_rejected(self, fitted_lookhd, tmp_path):
         path = save_classifier(fitted_lookhd, tmp_path / "model.npz")

@@ -49,6 +49,22 @@ class TestCommands:
         assert main(["experiment", "fig16_resources"]) == 0
         assert "Fig. 16" in capsys.readouterr().out
 
+    def test_stats_command_writes_valid_snapshot(self, tmp_path, capsys):
+        import json
+
+        from repro.telemetry import validate_stats_payload
+
+        out_path = tmp_path / "STATS.json"
+        assert main(["stats", "--out", str(out_path)]) == 0
+        payload = validate_stats_payload(json.loads(out_path.read_text()))
+        assert payload["telemetry"]["counters"]["inference.fused.queries"] > 0
+        assert f"wrote {out_path}" in capsys.readouterr().out
+
+    def test_stats_parser_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.out == "STATS.json"
+        assert args.overhead_gate is None
+
     def test_unknown_experiment_fails(self, capsys):
         assert main(["experiment", "fig99_nonexistent"]) == 2
 

@@ -122,12 +122,15 @@ class MLPClassifier:
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         single = np.asarray(features).ndim == 1
-        predictions = np.argmax(self.predict_proba(features), axis=1)
-        return int(predictions[0]) if single else predictions
+        predictions = np.argmax(self.predict_proba(features), axis=1).astype(
+            np.int64, copy=False
+        )
+        return predictions[0] if single else predictions
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         predictions = np.atleast_1d(self.predict(features))
-        return float(np.mean(predictions == np.asarray(labels)))
+        labels = check_labels(labels, "labels", n_samples=predictions.shape[0])
+        return float(np.mean(predictions == labels))
 
     def parameter_count(self) -> int:
         """Total trainable parameters (drives the Table IV cost model)."""

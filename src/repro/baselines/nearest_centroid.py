@@ -39,9 +39,10 @@ class NearestCentroidClassifier:
         distances = (
             (batch[:, np.newaxis, :] - self.centroids[np.newaxis, :, :]) ** 2
         ).sum(axis=2)
-        predictions = np.argmin(distances, axis=1)
-        return int(predictions[0]) if single else predictions
+        predictions = np.argmin(distances, axis=1).astype(np.int64, copy=False)
+        return predictions[0] if single else predictions
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         predictions = np.atleast_1d(self.predict(features))
-        return float(np.mean(predictions == np.asarray(labels)))
+        labels = check_labels(labels, "labels", n_samples=predictions.shape[0])
+        return float(np.mean(predictions == labels))

@@ -6,6 +6,8 @@
     python -m repro bench --profile full
     python -m repro faults --ber 1e-4..1e-1
     python -m repro stats --out STATS.json
+    python -m repro serve --application activity --port 8752
+    python -m repro loadgen --profile full
     python -m repro list
 
 Training/evaluation run on the built-in synthetic stand-ins or on a
@@ -187,6 +189,82 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serving import InferenceService, MicrobatchConfig, ServingServer
+
+    if args.model:
+        clf = load_classifier(args.model)
+    else:
+        data = _load_dataset(args)
+        print(data.describe())
+        clf = LookHDClassifier(
+            LookHDConfig(
+                dim=args.dim,
+                levels=args.levels,
+                chunk_size=args.chunk_size,
+                seed=args.seed,
+            )
+        )
+        clf.fit(data.train_features, data.train_labels)
+    config = MicrobatchConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
+        dispatch=args.dispatch,
+    )
+
+    async def _run() -> None:
+        server = ServingServer(
+            InferenceService(clf, config), host=args.host, port=args.port
+        )
+        await server.start()
+        # flush: the banner must reach a supervising process (pipe-buffered
+        # stdout would otherwise hold it until the buffer fills).
+        print(
+            f"serving on {server.host}:{server.port} "
+            "(one JSON request per line; Ctrl-C to stop)",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.serving import LoadgenConfig, write_serving_file
+
+    config = LoadgenConfig(
+        n_requests=args.requests,
+        concurrency=args.concurrency,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
+        dispatch=args.dispatch,
+    )
+    path = write_serving_file(args.profile, out_dir=args.out_dir, config=config)
+    results = json.loads(path.read_text())["results"]
+    print(f"wrote {path}")
+    print(
+        f"microbatched {results['throughput_rps']:,.0f} rps vs sequential "
+        f"{results['sequential_rps']:,.0f} rps "
+        f"({results['speedup_vs_sequential']:.2f}x), "
+        f"{results['batches']['count']} batches, "
+        f"{results['requests']['dropped']} dropped"
+    )
+    return 0
+
+
 def _cmd_list(args) -> int:
     from repro.bench.workloads import profile_names
 
@@ -289,6 +367,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="timing repeats for the overhead measurement (best-of)",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    def add_microbatch_args(p):
+        p.add_argument(
+            "--max-batch", type=_positive_int, default=64, help="flush at this many queued requests"
+        )
+        p.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=2.0,
+            help="flush when the oldest request has waited this long",
+        )
+        p.add_argument(
+            "--max-queue-depth",
+            type=_positive_int,
+            default=1_024,
+            help="admission bound; beyond this, requests are rejected as overloaded",
+        )
+        p.add_argument(
+            "--dispatch",
+            default="inline",
+            choices=["inline", "thread"],
+            help="run batch predict on the event loop (inline, fastest) or a worker thread",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a model over newline-delimited JSON TCP with microbatching",
+    )
+    serve.add_argument("--model", help="saved .npz model (otherwise train on --application)")
+    add_data_args(serve)
+    serve.add_argument("--dim", type=int, default=2_000)
+    serve.add_argument("--levels", type=int, default=4)
+    serve.add_argument("--chunk-size", type=int, default=5)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8752, help="0 binds an ephemeral port")
+    add_microbatch_args(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="measure microbatched vs sequential serving, write BENCH_serving.json",
+    )
+    loadgen.add_argument(
+        "--profile",
+        default="full",
+        choices=["full", "smoke"],
+        help="workload: 'full' is the serving perf gate, 'smoke' a CI-sized run",
+    )
+    loadgen.add_argument(
+        "--requests", type=_positive_int, default=2_000, help="total requests to issue"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=_positive_int, default=64, help="closed-loop workers"
+    )
+    loadgen.add_argument("--out-dir", default=".", help="directory for BENCH_serving.json")
+    add_microbatch_args(loadgen)
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     lister = sub.add_parser("list", help="list applications and experiments")
     lister.set_defaults(func=_cmd_list)

@@ -44,8 +44,8 @@ class BinaryHDClassifier(BaselineHDClassifier):
         queries = sign_quantize(self.encode(features), rng=self.seed)
         scores = hamming_similarity(queries, self._binary_model)
         if np.asarray(features).ndim == 1:
-            return int(np.argmax(scores))
-        return np.argmax(np.atleast_2d(scores), axis=1)
+            return np.int64(np.argmax(scores))
+        return np.argmax(np.atleast_2d(scores), axis=1).astype(np.int64, copy=False)
 
     def model_size_bytes(self, bytes_per_element: int = 4) -> int:
         """Binary model stores one bit per element."""

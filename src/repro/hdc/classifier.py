@@ -156,9 +156,14 @@ class BaselineHDClassifier:
         return self.model.predict(self.encode(features))
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
-        """Classification accuracy on ``(features, labels)``."""
+        """Classification accuracy on ``(features, labels)``.
+
+        Labels are shape-validated so an ``(N, 1)`` array raises instead of
+        broadcasting the comparison to ``(N, N)``.
+        """
         predictions = np.atleast_1d(self.predict(features))
-        return float(np.mean(predictions == np.asarray(labels)))
+        labels = check_labels(labels, "labels", n_samples=predictions.shape[0])
+        return float(np.mean(predictions == labels))
 
     def model_size_bytes(self, bytes_per_element: int = 4) -> int:
         """Deployed model footprint: ``k`` hypervectors of ``D`` elements."""

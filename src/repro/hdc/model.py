@@ -99,11 +99,17 @@ class ClassModel:
         return dot_similarity(queries, self.normalized)
 
     def predict(self, queries: np.ndarray) -> np.ndarray:
-        """Argmax class per query; scalar for a single ``(D,)`` query."""
+        """Argmax class per query.
+
+        Single-query contract (shared by every model in the library, and
+        relied on by :mod:`repro.serving`): a 1-D ``(D,)`` query returns a
+        NumPy ``int64`` scalar; a 2-D ``(N, D)`` batch returns an ``(N,)``
+        ``int64`` array.
+        """
         scores = self.scores(queries)
         if scores.ndim == 1 and np.asarray(queries).ndim == 1:
-            return int(np.argmax(scores))
-        return np.argmax(np.atleast_2d(scores), axis=1)
+            return np.int64(np.argmax(scores))
+        return np.argmax(np.atleast_2d(scores), axis=1).astype(np.int64, copy=False)
 
     # -- persistence / inspection ----------------------------------------------
 

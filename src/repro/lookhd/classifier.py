@@ -181,9 +181,16 @@ class LookHDClassifier:
         encoded = self.encoder.encode_many(features)
         encoded_validation = None
         if validation is not None:
+            validation_features = check_finite(
+                check_2d(validation[0], "validation features"), "validation features"
+            )
             encoded_validation = (
-                self.encoder.encode_many(check_2d(validation[0], "validation features")),
-                np.asarray(validation[1]),
+                self.encoder.encode_many(validation_features),
+                check_labels(
+                    validation[1],
+                    "validation labels",
+                    n_samples=validation_features.shape[0],
+                ),
             )
         if self.compressed_model is not None:
             return retrain_compressed(
@@ -258,20 +265,27 @@ class LookHDClassifier:
         ``config.fused_inference`` is on and the table fits its budget;
         otherwise encodes in memory-bounded batches and searches in the
         hypervector domain.  Both paths agree on every prediction.
+
+        Inputs are validated the same on both paths: a query containing
+        NaN/inf raises ``ValueError`` instead of quantizing to garbage.
+        Single-query contract (relied on by :mod:`repro.serving`): a 1-D
+        ``(n,)`` sample returns a NumPy ``int64`` scalar; an ``(N, n)``
+        batch returns an ``(N,)`` ``int64`` array — including ``N == 0``,
+        which returns an empty array.
         """
         model = self._inference_model()
+        single = np.asarray(features).ndim == 1
+        batch = check_finite(check_2d(features, "features"), "features")
+        if batch.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
         if self.config.fused_inference:
             engine = self.fused_engine()
             if engine.enabled:
-                return engine.predict(features)
+                predictions = engine.predict(batch)
+                return predictions[0] if single else predictions
             engine.note_fallback()
-        single = np.asarray(features).ndim == 1
-        encoded = (
-            self.encoder.encode(features)
-            if single
-            else self.encoder.encode_many(check_2d(features, "features"))
-        )
-        return model.predict(encoded)
+        predictions = model.predict(self.encoder.encode_many(batch))
+        return predictions[0] if single else predictions
 
     def predict_reference(self, features: np.ndarray) -> np.ndarray:
         """Classify via the unfused hypervector-domain reference path.
@@ -279,20 +293,33 @@ class LookHDClassifier:
         Materialises the full ``(N, m, D)`` Eq. 3 intermediate and runs the
         group-loop Eq. 4/5 search — the pre-optimisation pipeline, kept as
         the equivalence oracle and benchmark baseline for the fused path.
+        Validates inputs and follows the single-query ``int64`` contract
+        exactly like :meth:`predict`.
         """
         model = self._inference_model()
-        encoded = self.encoder.encode_reference(features)
+        single = np.asarray(features).ndim == 1
+        batch = check_finite(check_2d(features, "features"), "features")
+        if batch.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        encoded = self.encoder.encode_reference(batch)
         if isinstance(model, CompressedModel):
             scores = model.scores_reference(encoded)
-            if scores.ndim == 1:
-                return int(np.argmax(scores))
-            return np.argmax(scores, axis=1)
-        return model.predict(encoded)
+            predictions = np.argmax(scores, axis=1).astype(np.int64, copy=False)
+        else:
+            predictions = model.predict(encoded)
+        return predictions[0] if single else predictions
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
-        """Classification accuracy."""
+        """Classification accuracy.
+
+        Labels are validated against the prediction count, so an
+        ``(N, 1)``-shaped label array raises instead of broadcasting
+        ``predictions == labels`` to an ``(N, N)`` matrix and returning a
+        confidently wrong accuracy.
+        """
         predictions = np.atleast_1d(self.predict(features))
-        return float(np.mean(predictions == np.asarray(labels)))
+        labels = check_labels(labels, "labels", n_samples=predictions.shape[0])
+        return float(np.mean(predictions == labels))
 
     # -- reporting ---------------------------------------------------------------
 

@@ -202,12 +202,17 @@ class FusedInferenceEngine:
         out = self.scores_addresses(self.encoder.addresses(features))
         return out[0] if single else out
 
-    def predict(self, features: np.ndarray) -> np.ndarray | int:
-        """Argmax class per query; scalar ``int`` for a single sample."""
+    def predict(self, features: np.ndarray) -> np.ndarray | np.int64:
+        """Argmax class per query.
+
+        Follows the library-wide single-query contract: a 1-D sample
+        returns a NumPy ``int64`` scalar, a batch an ``(N,)`` ``int64``
+        array (see :meth:`repro.hdc.model.ClassModel.predict`).
+        """
         scores = self.scores(features)
         if scores.ndim == 1:
-            return int(np.argmax(scores))
-        return np.argmax(scores, axis=1)
+            return np.int64(np.argmax(scores))
+        return np.argmax(scores, axis=1).astype(np.int64, copy=False)
 
     # -- reporting -------------------------------------------------------------
 

@@ -114,8 +114,10 @@ class OnlineLookHD:
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Classify with the current adaptive weights.
 
-        A single ``(n,)`` sample returns a scalar ``int``; an ``(N, n)``
-        batch returns an ``(N,)`` array — including ``N == 0``, which
+        A single ``(n,)`` sample returns a NumPy ``int64`` scalar (the
+        library-wide single-query contract — see
+        :meth:`repro.hdc.model.ClassModel.predict`); an ``(N, n)`` batch
+        returns an ``(N,)`` ``int64`` array — including ``N == 0``, which
         returns an empty array rather than tripping on downstream shapes.
         """
         single = np.asarray(features).ndim == 1
@@ -124,8 +126,8 @@ class OnlineLookHD:
             return np.zeros(0, dtype=np.int64)
         encoded = self.encoder.encode(batch).astype(np.float64)
         scores = np.atleast_2d(cosine_similarity(np.atleast_2d(encoded), self._model))
-        predictions = np.argmax(scores, axis=1)
-        return int(predictions[0]) if single else predictions
+        predictions = np.argmax(scores, axis=1).astype(np.int64, copy=False)
+        return predictions[0] if single else predictions
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         predictions = np.atleast_1d(self.predict(features))

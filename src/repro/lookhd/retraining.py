@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.lookhd.compression import CompressedModel
+from repro.utils.validation import check_labels
 
 
 @dataclass
@@ -66,9 +67,16 @@ def retrain_compressed(
     :class:`RetrainTrace` with per-iteration updates and accuracies.
     """
     encoded_train = np.atleast_2d(np.asarray(encoded_train))
-    labels = np.asarray(labels)
-    if labels.shape[0] != encoded_train.shape[0]:
-        raise ValueError("labels must align with encoded_train")
+    # Shape-validated labels only: an (N, 1) label array would broadcast
+    # every ``predictions == labels`` below to (N, N) and silently corrupt
+    # both the accuracy trace and the misprediction set.
+    labels = check_labels(labels, "labels", n_samples=encoded_train.shape[0])
+    if validation is not None:
+        val_encoded = np.atleast_2d(np.asarray(validation[0]))
+        validation = (
+            val_encoded,
+            check_labels(validation[1], "validation labels", n_samples=val_encoded.shape[0]),
+        )
     if iterations < 0:
         raise ValueError(f"iterations must be non-negative, got {iterations}")
     trace = RetrainTrace()

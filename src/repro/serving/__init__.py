@@ -1,0 +1,64 @@
+"""Microbatched serving layer over a fitted LookHD model.
+
+Concurrent per-request traffic arrives one sample at a time, but the fused
+lookup-domain kernels (:mod:`repro.lookhd.inference`) only pay off on
+batches — the per-query cost is a handful of table gathers, so Python call
+overhead dominates any single-sample path.  This package closes that gap:
+
+* :class:`~repro.serving.service.InferenceService` — an asyncio
+  microbatcher.  ``await service.predict(sample)`` enqueues the request; a
+  collector task coalesces the queue into batches (flushing on
+  ``max_batch`` or ``max_wait_ms``), dispatches one fused batch predict,
+  and fans the results back out per request.  Admission control bounds the
+  queue depth and rejects with a typed
+  :class:`~repro.serving.service.ServiceOverloadedError`.
+* :class:`~repro.serving.server.ServingServer` — a newline-delimited-JSON
+  TCP front end over the service (``repro serve``).
+* :mod:`~repro.serving.loadgen` — a closed-loop load generator
+  (``repro loadgen``) that measures microbatched vs sequential throughput
+  and writes a schema-validated ``BENCH_serving.json``.
+
+Correctness contract: because every batch row is scored independently by
+the fused engine (per-row gather + sum, identical float summation order),
+a microbatched prediction is **bit-identical** to a single-request
+``LookHDClassifier.predict`` — the load generator asserts this on every
+run, and the service relies on the library-wide single-query/batch
+``int64`` return contract.
+"""
+
+from repro.serving.loadgen import (
+    DEFAULT_SERVING_WORKLOADS,
+    LoadgenConfig,
+    run_loadgen,
+    write_serving_file,
+)
+from repro.serving.schema import SERVING_SCHEMA_VERSION, validate_serving_payload
+from repro.serving.server import ServingServer
+from repro.serving.service import (
+    FLUSH_DRAIN,
+    FLUSH_MAX_BATCH,
+    FLUSH_MAX_WAIT,
+    InferenceService,
+    MicrobatchConfig,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
+
+__all__ = [
+    "DEFAULT_SERVING_WORKLOADS",
+    "FLUSH_DRAIN",
+    "FLUSH_MAX_BATCH",
+    "FLUSH_MAX_WAIT",
+    "InferenceService",
+    "LoadgenConfig",
+    "MicrobatchConfig",
+    "SERVING_SCHEMA_VERSION",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServingError",
+    "ServingServer",
+    "run_loadgen",
+    "validate_serving_payload",
+    "write_serving_file",
+]

@@ -1,0 +1,146 @@
+"""Structural schema for the ``BENCH_serving.json`` artifact.
+
+Hand-rolled like :mod:`repro.bench.schema` (no jsonschema dependency).
+Beyond structure, the schema *is* the serving acceptance gate: a payload
+whose microbatched predictions diverged from single-request ``predict``,
+or that dropped an admitted request, fails validation — CI and tests call
+:func:`validate_serving_payload` so a regression cannot write a
+plausible-looking artifact.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+from repro.telemetry.schema import validate_snapshot
+
+SERVING_SCHEMA_VERSION = 1
+
+_WORKLOAD_INT_FIELDS = (
+    "dim",
+    "levels",
+    "chunk_size",
+    "n_features",
+    "n_classes",
+    "seed",
+    "n_requests",
+    "concurrency",
+)
+_LATENCY_FIELDS = ("p50", "p99", "mean", "max")
+_REQUEST_FIELDS = ("sent", "completed", "rejected", "dropped")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"serving schema violation: {message}")
+
+
+def _check_positive_number(value: object, message: str) -> None:
+    _require(
+        isinstance(value, Real) and not isinstance(value, bool) and value > 0,
+        message,
+    )
+
+
+def _check_count(value: object, message: str) -> None:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool) and value >= 0,
+        message,
+    )
+
+
+def validate_serving_payload(payload: object) -> dict:
+    """Validate a loaded ``BENCH_serving.json`` payload; returns it on success.
+
+    Raises ``ValueError`` describing the first violation found.
+    """
+    _require(isinstance(payload, dict), "payload must be a JSON object")
+    _require(
+        payload.get("schema_version") == SERVING_SCHEMA_VERSION,
+        f"schema_version must be {SERVING_SCHEMA_VERSION}",
+    )
+    _require(payload.get("benchmark") == "serving", "benchmark must be 'serving'")
+
+    workload = payload.get("workload")
+    _require(isinstance(workload, dict), "workload must be an object")
+    for field in _WORKLOAD_INT_FIELDS:
+        _require(
+            isinstance(workload.get(field), int) and not isinstance(workload[field], bool),
+            f"workload.{field} must be an int",
+        )
+
+    service = payload.get("service")
+    _require(isinstance(service, dict), "service must be an object")
+    for field in ("max_batch", "max_queue_depth"):
+        _check_positive_number(service.get(field), f"service.{field} must be positive")
+        _require(isinstance(service[field], int), f"service.{field} must be an int")
+    _check_positive_number(service.get("max_wait_ms"), "service.max_wait_ms must be positive")
+    _require(
+        isinstance(service.get("fused_active"), bool), "service.fused_active must be a bool"
+    )
+
+    results = payload.get("results")
+    _require(isinstance(results, dict), "results must be an object")
+    for field in ("throughput_rps", "sequential_rps", "speedup_vs_sequential"):
+        _check_positive_number(results.get(field), f"results.{field} must be positive")
+
+    latency = results.get("latency_seconds")
+    _require(isinstance(latency, dict), "results.latency_seconds must be an object")
+    for field in _LATENCY_FIELDS:
+        value = latency.get(field)
+        _require(
+            isinstance(value, Real) and not isinstance(value, bool) and value >= 0,
+            f"latency_seconds.{field} must be a number >= 0",
+        )
+    _require(latency["p50"] <= latency["p99"] <= latency["max"],
+             "latency percentiles must be ordered: p50 <= p99 <= max")
+
+    batches = results.get("batches")
+    _require(isinstance(batches, dict), "results.batches must be an object")
+    _check_positive_number(batches.get("count"), "batches.count must be positive")
+    _require(isinstance(batches["count"], int), "batches.count must be an int")
+    _check_positive_number(batches.get("mean_size"), "batches.mean_size must be positive")
+    _check_positive_number(batches.get("max_size"), "batches.max_size must be positive")
+
+    flush_reasons = results.get("flush_reasons")
+    _require(isinstance(flush_reasons, dict) and flush_reasons,
+             "results.flush_reasons must be a non-empty object")
+    for reason, count in flush_reasons.items():
+        _require(isinstance(reason, str), "flush reasons must be strings")
+        _check_count(count, f"flush_reasons[{reason!r}] must be a count")
+    _require(
+        sum(flush_reasons.values()) == batches["count"],
+        "flush_reasons must sum to batches.count",
+    )
+
+    requests = results.get("requests")
+    _require(isinstance(requests, dict), "results.requests must be an object")
+    for field in _REQUEST_FIELDS:
+        _check_count(requests.get(field), f"requests.{field} must be a count")
+    _require(
+        requests["sent"] == workload["n_requests"],
+        "requests.sent must equal workload.n_requests",
+    )
+
+    checks = payload.get("checks")
+    _require(isinstance(checks, dict), "checks must be an object")
+    _require(
+        checks.get("predictions_match_single") is True,
+        "microbatched predictions diverged from single-request predict",
+    )
+    _require(checks.get("zero_dropped") is True, "admitted requests were dropped")
+    _require(requests["dropped"] == 0, "requests.dropped must be 0")
+
+    environment = payload.get("environment")
+    _require(isinstance(environment, dict), "environment must be an object")
+    for field in ("python", "numpy", "platform"):
+        _require(
+            isinstance(environment.get(field), str), f"environment.{field} must be a string"
+        )
+
+    _require("telemetry" in payload, "payload must embed a telemetry snapshot")
+    try:
+        validate_snapshot(payload["telemetry"])
+    except ValueError as error:
+        _require(False, f"telemetry block invalid: {error}")
+    return payload

@@ -1,0 +1,128 @@
+"""Newline-delimited-JSON TCP front end over :class:`InferenceService`.
+
+Stdlib-only transport (asyncio streams) so the serving path adds no
+dependencies.  Protocol — one JSON object per line, each answered with
+one JSON line:
+
+    → {"id": 7, "features": [0.1, 0.2, ...]}
+    ← {"id": 7, "prediction": 3}
+
+Error responses carry a machine-routable ``error`` code plus a
+human-readable ``detail``:
+
+* ``invalid`` — malformed JSON, missing/NaN features, wrong width
+  (maps from ``ValueError``); the connection stays open.
+* ``overloaded`` — admission control rejected
+  (:class:`ServiceOverloadedError`); the client should back off and retry.
+* ``closed`` — the service stopped while the request was in flight.
+
+Every connection shares the one microbatcher, so concurrent clients are
+exactly what fills its batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro import telemetry
+from repro.serving.service import (
+    InferenceService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+
+class ServingServer:
+    """TCP server wrapping an (already constructed) :class:`InferenceService`.
+
+    Parameters
+    ----------
+    service:
+        The microbatcher to serve.  The server starts/stops it with its
+        own lifecycle.
+    host, port:
+        Bind address.  ``port=0`` binds an ephemeral port; read
+        :attr:`port` after :meth:`start` (the in-process test/smoke path).
+    """
+
+    def __init__(self, service: InferenceService, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ServingServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ServingServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        telemetry.count("serving.connections.opened")
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._answer(line)
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            telemetry.count("serving.connections.closed")
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _answer(self, line: bytes) -> dict:
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            features = request.get("features")
+            if not isinstance(features, list):
+                raise ValueError("request must carry a 'features' list")
+            prediction = await self.service.predict(features)
+        except ServiceOverloadedError as error:
+            return {"id": request_id, "error": "overloaded", "detail": str(error)}
+        except ServiceClosedError as error:
+            return {"id": request_id, "error": "closed", "detail": str(error)}
+        except (ValueError, TypeError, json.JSONDecodeError) as error:
+            return {"id": request_id, "error": "invalid", "detail": str(error)}
+        return {"id": request_id, "prediction": int(prediction)}

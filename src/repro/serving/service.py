@@ -1,0 +1,444 @@
+"""Asyncio microbatching inference service.
+
+The shape of the problem: the fused score-table kernel classifies a batch
+of ``N`` queries in one pass of ``m`` gathers — almost all of the cost of
+a request is Python/dispatch overhead, so serving requests one by one
+throws the PR-1 kernel speedups away.  The service turns concurrent
+awaiters into batches:
+
+1. ``await predict(sample)`` validates the sample at admission (shape,
+   width, finiteness — the same boundary rules as the underlying
+   classifier), applies admission control, and parks a future on a FIFO
+   queue.
+2. A single collector task takes the oldest request and keeps collecting
+   until either ``max_batch`` requests are in hand or the oldest request
+   has waited ``max_wait_ms`` (so light traffic still gets a bounded
+   latency floor).
+3. The batch is stacked into one ``(N, n)`` array, dispatched to
+   ``classifier.predict`` (inline on the event loop by default; on a
+   worker thread with ``dispatch="thread"``), and the per-row ``int64``
+   predictions are fanned back to the futures.
+
+Because each batch row is scored independently with the same float
+summation order as a single-row call, microbatched predictions are
+bit-identical to single-request ``predict`` — batching changes latency
+and throughput, never answers.
+
+Backpressure is typed, not implicit: when ``max_queue_depth`` requests
+are already waiting, ``predict`` raises
+:class:`ServiceOverloadedError` immediately instead of letting the queue
+(and every queued latency) grow without bound.  Callers — e.g. the TCP
+front end — translate it into an explicit "overloaded" response.
+
+Telemetry (through the process registry, off by default): queue-wait and
+end-to-end latency histograms, batch-size histogram, flush-reason
+counters, completion/rejection counters, and a per-batch predict timer.
+Every telemetry operation on the request path is *batch*-granular — the
+per-request histograms are bucketed vectorised and merged with one
+registry call per flush (:func:`telemetry.merge_histogram`) — because at
+the measured ~10 µs/request service budget even one lock+dict operation
+per request is a double-digit throughput tax.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.utils.validation import check_positive_int
+
+#: Flush-reason labels (also the ``reason`` label on the
+#: ``serving.batch.flushes`` counter and the keys of the load generator's
+#: ``flush_reasons`` stanza).
+FLUSH_MAX_BATCH = "max_batch"
+FLUSH_MAX_WAIT = "max_wait"
+FLUSH_DRAIN = "drain"
+
+#: Histogram buckets for queue-wait and end-to-end latency (seconds).
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.0)
+
+#: Histogram buckets for batch sizes (requests per flush).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Admission control rejected the request: the queue is full.
+
+    Typed backpressure — callers distinguish "try again later" from a bad
+    request (``ValueError``) or a stopped service
+    (:class:`ServiceClosedError`) without string matching.
+    """
+
+    def __init__(self, queue_depth: int, max_queue_depth: int):
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+        super().__init__(
+            f"service overloaded: {queue_depth} requests already queued "
+            f"(max_queue_depth={max_queue_depth}); retry later or raise the bound"
+        )
+
+
+class ServiceClosedError(ServingError):
+    """The service is not running (never started, or already stopped)."""
+
+
+@dataclass(frozen=True)
+class MicrobatchConfig:
+    """Batching and admission-control knobs of :class:`InferenceService`.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush as soon as this many requests are queued.  Sized to the
+        fused kernel's sweet spot; matching the expected concurrency keeps
+        closed-loop traffic flushing on size rather than on the timer.
+    max_wait_ms:
+        Flush when the *oldest* queued request has waited this long, so a
+        trickle of traffic is never stuck waiting for a full batch.  This
+        is the service's idle-latency floor.
+    max_queue_depth:
+        Admission bound: requests beyond this many waiting raise
+        :class:`ServiceOverloadedError` instead of queueing.
+    dispatch:
+        Where the batched ``predict`` runs.  ``"inline"`` (default) calls
+        it synchronously on the event loop: a fused batch costs a few
+        hundred microseconds, the executor round-trip alone costs ~500 µs
+        of wake latency per batch, and NumPy holds the GIL for most of
+        the call anyway — so inline is both simpler and ~30% faster
+        end-to-end.  ``"thread"`` uses ``run_in_executor`` so the loop
+        keeps admitting (and answering other I/O) during predict; prefer
+        it when the service shares its loop with latency-sensitive
+        non-inference traffic or the model's batch latency is large.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 1_024
+    dispatch: str = "inline"
+
+    def __post_init__(self):
+        check_positive_int(self.max_batch, "max_batch")
+        check_positive_int(self.max_queue_depth, "max_queue_depth")
+        if not self.max_wait_ms > 0:
+            raise ValueError(f"max_wait_ms must be positive, got {self.max_wait_ms}")
+        if self.max_queue_depth < self.max_batch:
+            raise ValueError(
+                f"max_queue_depth ({self.max_queue_depth}) must be >= "
+                f"max_batch ({self.max_batch})"
+            )
+        if self.dispatch not in ("inline", "thread"):
+            raise ValueError(
+                f"dispatch must be 'inline' or 'thread', got {self.dispatch!r}"
+            )
+
+
+class _Request:
+    __slots__ = ("features", "future", "enqueued_at")
+
+    def __init__(self, features: np.ndarray, future: asyncio.Future, enqueued_at: float):
+        self.features = features
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+class InferenceService:
+    """Microbatching façade over a fitted classifier.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted model exposing ``predict`` with the library's batch
+        contract (``(N, n)`` float batch → ``(N,)`` int64 predictions):
+        :class:`~repro.lookhd.classifier.LookHDClassifier` or
+        :class:`~repro.lookhd.online.OnlineLookHD`.  Graceful degradation
+        is inherited from the classifier: when the fused score table
+        exceeds its budget the same ``predict`` call serves the exact
+        hypervector-domain path (one :class:`FusedFallbackWarning`, a
+        queryable ``fallback_reason``) and the service keeps batching.
+    config:
+        Batching/admission knobs; defaults are
+        :class:`MicrobatchConfig`'s.
+    n_features:
+        Expected feature width per request.  Defaults to the classifier's
+        fitted encoder width; required only for models without an
+        ``encoder`` attribute.
+
+    Lifecycle: ``await start()`` → ``await predict(...)`` (any number of
+    concurrent awaiters) → ``await stop()`` (drains the queue, completing
+    every admitted request).  Also usable as an async context manager.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        config: MicrobatchConfig | None = None,
+        n_features: int | None = None,
+    ):
+        self.classifier = classifier
+        self.config = config if config is not None else MicrobatchConfig()
+        encoder = getattr(classifier, "encoder", None)
+        if n_features is not None:
+            self.n_features = check_positive_int(n_features, "n_features")
+        elif encoder is not None:
+            self.n_features = int(encoder.n_features)
+        else:
+            raise ValueError(
+                "classifier exposes no fitted encoder; pass n_features explicitly"
+            )
+        self._queue: deque[_Request] = deque()
+        self._wakeup = asyncio.Event()
+        self._collector: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._running = False
+        # Plain-int bookkeeping (always on, unlike telemetry) so callers —
+        # the load generator's zero-dropped gate above all — can audit the
+        # request balance without enabling the registry.
+        self.admitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed = 0
+        self.batches = 0
+        self.max_batch_size = 0
+        self.flush_reasons: dict[str, int] = {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a batch slot."""
+        return len(self._queue)
+
+    async def start(self) -> "InferenceService":
+        """Start the collector task (idempotent while running)."""
+        if self._running:
+            return self
+        self._running = True
+        self._loop = asyncio.get_running_loop()
+        self._collector = self._loop.create_task(self._collect())
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting requests, drain the queue, and join the collector.
+
+        Every request admitted before ``stop`` is still answered (final
+        flushes are counted under the ``drain`` reason); only *new*
+        ``predict`` calls fail with :class:`ServiceClosedError`.
+        """
+        if not self._running:
+            return
+        self._running = False
+        self._wakeup.set()
+        if self._collector is not None:
+            await self._collector
+            self._collector = None
+
+    async def __aenter__(self) -> "InferenceService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- request path ----------------------------------------------------------
+
+    def _validate(self, features: np.ndarray) -> np.ndarray:
+        row = np.asarray(features, dtype=np.float64)
+        if row.ndim != 1:
+            raise ValueError(
+                f"a serving request is one 1-D sample, got shape {row.shape}; "
+                "batching is the service's job"
+            )
+        if row.shape[0] != self.n_features:
+            raise ValueError(
+                f"expected {self.n_features} features per request, got {row.shape[0]}"
+            )
+        # Finiteness is checked batch-granular in _dispatch (one vectorised
+        # np.isfinite over the stacked batch instead of ~2 µs per request
+        # here — the last per-request line in the hot-path profile).  A
+        # non-finite request still fails its own await with ValueError;
+        # shape/width must stay per-request or np.stack would blow up the
+        # whole batch.
+        return row
+
+    async def predict(self, features: np.ndarray) -> np.int64:
+        """Classify one sample; resolves when its batch has been served.
+
+        Raises ``ValueError`` on malformed input (wrong shape/width,
+        NaN/inf), :class:`ServiceOverloadedError` when admission control
+        rejects, and :class:`ServiceClosedError` when the service is not
+        running.  Admitted requests always resolve (or carry the batch's
+        exception) — never silently drop.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running; call start() first")
+        row = self._validate(features)
+        if len(self._queue) >= self.config.max_queue_depth:
+            self.rejected += 1
+            telemetry.count("serving.requests.rejected", reason="queue_full")
+            raise ServiceOverloadedError(len(self._queue), self.config.max_queue_depth)
+        request = _Request(row, self._loop.create_future(), time.perf_counter())
+        self._queue.append(request)
+        self.admitted += 1
+        # Wake the collector only on the edges it cares about — the first
+        # request of a batch (starts the max_wait clock) and a full batch.
+        # Intermediate arrivals just queue, so the collector is not churned
+        # through a wakeup per request.
+        depth = len(self._queue)
+        if depth == 1 or depth >= self.config.max_batch:
+            self._wakeup.set()
+        return await request.future
+
+    # -- collector -------------------------------------------------------------
+
+    async def _collect(self) -> None:
+        max_wait = self.config.max_wait_ms / 1_000.0
+        max_batch = self.config.max_batch
+        while True:
+            if not self._queue:
+                if not self._running:
+                    return
+                self._wakeup.clear()
+                # Re-check after clear: a request admitted (or a stop())
+                # between the check and the clear must not be missed.
+                if self._queue or not self._running:
+                    continue
+                await self._wakeup.wait()
+                continue
+            # Oldest request in hand — collect until the batch fills or its
+            # deadline passes.  A stopping service flushes immediately.
+            # There is no await between checking the queue and waiting, so
+            # the edge-triggered wakeups from predict() cannot be lost.
+            deadline = self._queue[0].enqueued_at + max_wait
+            reason = FLUSH_MAX_WAIT
+            while len(self._queue) < max_batch and self._running:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._wakeup.clear()
+                try:
+                    await asyncio.wait_for(self._wakeup.wait(), timeout=remaining)
+                except (asyncio.TimeoutError, TimeoutError):
+                    break
+            if len(self._queue) >= max_batch:
+                reason = FLUSH_MAX_BATCH
+            elif not self._running:
+                reason = FLUSH_DRAIN
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(max_batch, len(self._queue)))
+            ]
+            await self._dispatch(batch, reason)
+
+    def _predict_batch(self, features: np.ndarray) -> np.ndarray:
+        with telemetry.timer("serving.batch.predict_seconds"):
+            predictions = np.atleast_1d(self.classifier.predict(features))
+        return predictions.astype(np.int64, copy=False)
+
+    @staticmethod
+    def _merge_latency_histogram(name: str, values: np.ndarray) -> None:
+        """One registry merge for a whole batch of latency observations."""
+        indices = np.searchsorted(LATENCY_BUCKETS, values, side="left")
+        counts = np.bincount(indices, minlength=len(LATENCY_BUCKETS) + 1)
+        telemetry.merge_histogram(
+            name, LATENCY_BUCKETS, counts.tolist(), float(values.sum())
+        )
+
+    async def _dispatch(self, batch: list[_Request], reason: str) -> None:
+        collected_at = time.perf_counter()
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+        if len(batch) > self.max_batch_size:
+            self.max_batch_size = len(batch)
+        instrumented = telemetry.is_enabled()
+        enqueued_at = None
+        if instrumented:
+            telemetry.count("serving.batch.flushes", reason=reason)
+            telemetry.observe(
+                "serving.batch.size", len(batch), buckets=BATCH_SIZE_BUCKETS
+            )
+            enqueued_at = np.array([request.enqueued_at for request in batch])
+            self._merge_latency_histogram(
+                "serving.queue.wait_seconds", collected_at - enqueued_at
+            )
+        features = np.stack([request.features for request in batch])
+        if not np.isfinite(features).all():
+            # Rare path: isolate the offending rows (their awaits raise
+            # ValueError, same contract as eager validation) and keep
+            # serving the finite remainder of the batch.
+            finite_rows = np.isfinite(features).all(axis=1)
+            invalid = [r for r, ok in zip(batch, finite_rows) if not ok]
+            self.failed += len(invalid)
+            telemetry.count(
+                "serving.requests.failed", len(invalid), reason="non_finite"
+            )
+            for request in invalid:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ValueError(
+                            "features contains non-finite values (NaN or inf); "
+                            "clean the input before serving"
+                        )
+                    )
+            batch = [r for r, ok in zip(batch, finite_rows) if ok]
+            if not batch:
+                return
+            features = features[finite_rows]
+            if instrumented:
+                enqueued_at = enqueued_at[finite_rows]
+        try:
+            if self.config.dispatch == "inline":
+                predictions = self._predict_batch(features)
+            else:
+                predictions = await asyncio.get_running_loop().run_in_executor(
+                    None, self._predict_batch, features
+                )
+        except Exception as error:  # noqa: BLE001 — forwarded per request
+            self.failed += len(batch)
+            telemetry.count(
+                "serving.requests.failed", len(batch), reason="predict_error"
+            )
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServingError(f"batch predict failed: {error!r}")
+                    )
+            return
+        self.batches += 1
+        for request, prediction in zip(batch, predictions):
+            if not request.future.done():
+                request.future.set_result(prediction)
+        self.completed += len(batch)
+        if instrumented:
+            telemetry.count("serving.requests.completed", len(batch))
+            self._merge_latency_histogram(
+                "serving.latency_seconds", time.perf_counter() - enqueued_at
+            )
+
+    # -- reporting -------------------------------------------------------------
+
+    def request_stats(self) -> dict:
+        """Always-on request accounting (independent of telemetry state).
+
+        ``dropped`` is the invariant the drain logic protects: requests
+        admitted but neither completed nor failed.  It must be 0 after a
+        clean ``stop()``.
+        """
+        return {
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "dropped": self.admitted - self.completed - self.failed,
+            "batches": self.batches,
+        }

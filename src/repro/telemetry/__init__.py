@@ -59,6 +59,7 @@ __all__ = [
     "enabled",
     "get_registry",
     "is_enabled",
+    "merge_histogram",
     "metric_name",
     "observe",
     "reset",
@@ -105,6 +106,19 @@ def observe(name: str, value: float, buckets=DEFAULT_BUCKETS, **labels: object) 
     registry = _active
     if registry.enabled:
         registry.observe(name, value, buckets=buckets, **labels)
+
+
+def merge_histogram(
+    name: str,
+    buckets: tuple[float, ...],
+    counts: list[int],
+    total: float,
+    **labels: object,
+) -> None:
+    """Merge pre-aggregated bucket counts into a histogram (batch fast path)."""
+    registry = _active
+    if registry.enabled:
+        registry.merge_histogram(name, buckets, counts, total, **labels)
 
 
 def timer(name: str, **labels: object):

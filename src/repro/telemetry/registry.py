@@ -188,15 +188,53 @@ class MetricsRegistry:
             return
         key = metric_name(name, **labels)
         with self._lock:
-            stat = self._histograms.get(key)
-            if stat is None:
-                stat = self._histograms[key] = _HistogramStat(tuple(float(b) for b in buckets))
-            elif stat.buckets != tuple(float(b) for b in buckets):
-                raise ValueError(
-                    f"histogram {key!r} was created with buckets {stat.buckets}, "
-                    f"cannot re-register with {tuple(buckets)}"
-                )
+            stat = self._get_histogram(key, buckets)
             stat.record(float(value))
+
+    def merge_histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...],
+        counts: list[int],
+        total: float,
+        **labels: object,
+    ) -> None:
+        """Merge pre-aggregated bucket counts into the named histogram.
+
+        The batch-granularity fast path for hot loops (the serving layer
+        records one merge per *batch* instead of one :meth:`observe` per
+        request): the caller buckets its values however it likes — e.g.
+        vectorised with NumPy — and hands over ``len(buckets) + 1`` cell
+        counts (last cell = overflow) plus the summed total.  One lock
+        acquisition regardless of how many observations the batch holds.
+        """
+        if not self.enabled:
+            return
+        if len(counts) != len(buckets) + 1:
+            raise ValueError(
+                f"expected {len(buckets) + 1} bucket counts (incl. overflow), "
+                f"got {len(counts)}"
+            )
+        key = metric_name(name, **labels)
+        with self._lock:
+            stat = self._get_histogram(key, buckets)
+            for index, cell in enumerate(counts):
+                stat.counts[index] += int(cell)
+            merged = int(sum(counts))
+            stat.count += merged
+            stat.total += float(total)
+
+    def _get_histogram(self, key: str, buckets: tuple[float, ...]) -> _HistogramStat:
+        """Fetch-or-create under the caller's lock; enforces fixed buckets."""
+        stat = self._histograms.get(key)
+        if stat is None:
+            stat = self._histograms[key] = _HistogramStat(tuple(float(b) for b in buckets))
+        elif stat.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {key!r} was created with buckets {stat.buckets}, "
+                f"cannot re-register with {tuple(buckets)}"
+            )
+        return stat
 
     # -- reads -----------------------------------------------------------------
 

@@ -128,6 +128,109 @@ class TestLabelValidation:
         assert clf.n_classes == int(labels.max()) + 1
 
 
+class TestScoreBoundary:
+    """PR-4 regressions: the predict/score boundary must reject silently
+    broadcasting label shapes and non-finite single queries.
+
+    An ``(N, 1)`` label column against ``(N,)`` predictions broadcasts
+    ``predictions == labels`` to an ``(N, N)`` matrix, so ``score`` would
+    return a plausible-looking wrong accuracy instead of failing."""
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_score_rejects_column_labels(self, clean_data, make):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        with pytest.raises(ValueError, match="1-D"):
+            model.score(features, labels.reshape(-1, 1))
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_score_rejects_misaligned_labels(self, clean_data, make):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        with pytest.raises(ValueError, match="labels"):
+            model.score(features, labels[:-5])
+
+    def test_online_score_rejects_column_labels(self, clean_data):
+        features, labels = clean_data
+        online = _fit_online(clean_data)
+        with pytest.raises(ValueError, match="1-D"):
+            online.score(features, labels.reshape(-1, 1))
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    @pytest.mark.parametrize("value", BAD_VALUES)
+    def test_single_query_rejects_non_finite(self, clean_data, make, value):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        query = features[0].copy()
+        query[2] = value
+        with pytest.raises(ValueError, match="non-finite"):
+            model.predict(query)
+
+    @pytest.mark.parametrize("value", BAD_VALUES)
+    def test_online_single_query_rejects_non_finite(self, clean_data, value):
+        features, _ = clean_data
+        online = _fit_online(clean_data)
+        query = features[0].copy()
+        query[2] = value
+        with pytest.raises(ValueError, match="non-finite"):
+            online.predict(query)
+
+
+def _fit_online(clean_data):
+    from repro.lookhd.online import OnlineLookHD
+
+    features, labels = clean_data
+    seed_clf = make_lookhd()
+    seed_clf.fit(features, labels)
+    online = OnlineLookHD(seed_clf.encoder, int(labels.max()) + 1)
+    online.partial_fit(features, labels)
+    return online
+
+
+class TestSingleQueryContract:
+    """Library-wide return contract the serving layer depends on: a 1-D
+    query yields an ``np.int64`` scalar, an ``(N, n)`` batch an ``(N,)``
+    int64 array, an empty batch an empty int64 array."""
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_single_query_returns_int64_scalar(self, clean_data, make):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        prediction = model.predict(features[0])
+        assert isinstance(prediction, np.int64)
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_batch_returns_int64_array(self, clean_data, make):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        predictions = model.predict(features[:5])
+        assert predictions.shape == (5,)
+        assert predictions.dtype == np.int64
+
+    @pytest.mark.parametrize("make", ALL_MODELS)
+    def test_empty_batch_returns_empty_int64(self, clean_data, make):
+        features, labels = clean_data
+        model = make()
+        model.fit(features, labels)
+        predictions = model.predict(features[:0])
+        assert predictions.shape == (0,)
+        assert predictions.dtype == np.int64
+
+    def test_online_follows_contract(self, clean_data):
+        features, _ = clean_data
+        online = _fit_online(clean_data)
+        assert isinstance(online.predict(features[0]), np.int64)
+        batch = online.predict(features[:4])
+        assert batch.shape == (4,) and batch.dtype == np.int64
+        empty = online.predict(features[:0])
+        assert empty.shape == (0,) and empty.dtype == np.int64
+
+
 class TestShapeValidation:
     def test_lookhd_fit_rejects_1d_features(self, clean_data):
         _, labels = clean_data

@@ -110,7 +110,7 @@ class TestCompressedModel:
 
     def test_single_query_returns_int(self):
         compressed = CompressedModel(make_class_model(k=4))
-        assert isinstance(compressed.predict(np.zeros(2000) + 1.0), int)
+        assert isinstance(compressed.predict(np.zeros(2000) + 1.0), np.int64)
 
     def test_retrain_update_moves_decision(self):
         model = make_class_model(k=2, seed=9)

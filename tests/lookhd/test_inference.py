@@ -107,9 +107,9 @@ class TestFusedEquivalence:
         model.mark_dirty()
         assert model.version == version + 2
 
-    def test_single_sample_predict_returns_int(self, dataset):
+    def test_single_sample_predict_returns_int64_scalar(self, dataset):
         clf = fit(dataset)
-        assert isinstance(clf.predict(dataset.test_features[0]), int)
+        assert isinstance(clf.predict(dataset.test_features[0]), np.int64)
         assert clf.predict(dataset.test_features[0]) == clf.predict_reference(
             dataset.test_features[0]
         )

@@ -1,4 +1,5 @@
 import numpy as np
+import pytest
 
 from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
 from repro.lookhd.retraining import retrain_compressed
@@ -69,3 +70,95 @@ class TestRetrainCompressed:
             stop_when_clean=False,
         )
         assert trace.total_updates == sum(trace.updates_per_iteration)
+
+    def test_column_labels_raise(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        column = np.asarray(small_dataset.train_labels).reshape(-1, 1)
+        with pytest.raises(ValueError, match="labels"):
+            retrain_compressed(clf.compressed_model, encoded, column, iterations=1)
+
+    def test_column_validation_labels_raise(self, small_dataset):
+        clf, encoded = fit_base(small_dataset)
+        encoded_val = clf.encoder.encode_many(small_dataset.test_features)
+        column = np.asarray(small_dataset.test_labels).reshape(-1, 1)
+        with pytest.raises(ValueError, match="validation labels"):
+            retrain_compressed(
+                clf.compressed_model,
+                encoded,
+                small_dataset.train_labels,
+                iterations=1,
+                validation=(encoded_val, column),
+            )
+
+
+def _sabotage(model):
+    """A retrain_update stand-in that wrecks the model instead of refining it."""
+
+    def update(label, predicted, encoded_row):
+        model.compressed[:] = 0.0
+        model.mark_dirty()
+
+    return update
+
+
+def _thrash_labels(small_dataset):
+    """Train labels with a few flips so a retrain pass must make updates."""
+    labels = np.asarray(small_dataset.train_labels).copy()
+    labels[:8] = (labels[:8] + 1) % int(labels.max() + 1)
+    return labels
+
+
+class TestBestStateRestore:
+    def test_degrading_pass_is_rolled_back(self, small_dataset, monkeypatch):
+        clf, encoded = fit_base(small_dataset)
+        model = clf.compressed_model
+        before_compressed = model.compressed.copy()
+        before_prepared = model.prepared_classes.copy()
+        monkeypatch.setattr(model, "retrain_update", _sabotage(model))
+        trace = retrain_compressed(
+            model, encoded, _thrash_labels(small_dataset), iterations=1,
+            stop_when_clean=False,
+        )
+        # The sabotaged pass must have fired (otherwise this test proves
+        # nothing) and the best-state restore must roll it back exactly.
+        assert trace.updates_per_iteration[0] > 0
+        np.testing.assert_array_equal(model.compressed, before_compressed)
+        np.testing.assert_array_equal(model.prepared_classes, before_prepared)
+
+    def test_restore_judged_on_validation_split(self, small_dataset, monkeypatch):
+        clf, encoded = fit_base(small_dataset)
+        encoded_val = clf.encoder.encode_many(small_dataset.test_features)
+        model = clf.compressed_model
+        before = model.compressed.copy()
+        monkeypatch.setattr(model, "retrain_update", _sabotage(model))
+        trace = retrain_compressed(
+            model,
+            encoded,
+            _thrash_labels(small_dataset),
+            iterations=1,
+            validation=(encoded_val, small_dataset.test_labels),
+            stop_when_clean=False,
+        )
+        assert trace.updates_per_iteration[0] > 0
+        np.testing.assert_array_equal(model.compressed, before)
+
+    def test_restore_invalidates_fused_score_table(self, small_dataset, monkeypatch):
+        clf, encoded = fit_base(small_dataset)
+        test = small_dataset.test_features
+        # Warm the fused score table at the pre-retrain model version.
+        before_fused = clf.predict(test)
+        model = clf.compressed_model
+        monkeypatch.setattr(model, "retrain_update", _sabotage(model))
+        trace = retrain_compressed(
+            model, encoded, _thrash_labels(small_dataset), iterations=1,
+            stop_when_clean=False,
+        )
+        assert trace.updates_per_iteration[0] > 0
+        # The restore path bumps the model version (mark_dirty), so the
+        # fused engine must rebuild its score table instead of serving the
+        # warmed-but-stale one; restored state == initial state, so fused
+        # predictions must round-trip exactly, and agree with the
+        # hypervector-domain reference.
+        after_fused = clf.predict(test)
+        np.testing.assert_array_equal(after_fused, before_fused)
+        np.testing.assert_array_equal(after_fused, clf.predict_reference(test))

@@ -1,0 +1,104 @@
+"""Load generator + BENCH_serving schema: payload validity and its gates."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.serving import (
+    DEFAULT_SERVING_WORKLOADS,
+    LoadgenConfig,
+    SERVING_SCHEMA_VERSION,
+    run_loadgen,
+    validate_serving_payload,
+    write_serving_file,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return run_loadgen(
+        DEFAULT_SERVING_WORKLOADS["smoke"],
+        LoadgenConfig(n_requests=240, concurrency=16, max_batch=16),
+    )
+
+
+def test_loadgen_payload_is_schema_valid(smoke_payload):
+    assert validate_serving_payload(smoke_payload) is smoke_payload
+    assert smoke_payload["schema_version"] == SERVING_SCHEMA_VERSION
+
+
+def test_loadgen_checks_hold(smoke_payload):
+    assert smoke_payload["checks"]["predictions_match_single"] is True
+    assert smoke_payload["checks"]["zero_dropped"] is True
+    requests = smoke_payload["results"]["requests"]
+    assert requests["sent"] == 240
+    assert requests["completed"] == 240
+    assert requests["dropped"] == 0
+
+
+def test_loadgen_embeds_serving_telemetry(smoke_payload):
+    histograms = smoke_payload["telemetry"]["histograms"]
+    assert histograms["serving.latency_seconds"]["count"] == 240
+    assert (
+        sum(smoke_payload["results"]["flush_reasons"].values())
+        == smoke_payload["results"]["batches"]["count"]
+    )
+
+
+def test_write_serving_file(tmp_path):
+    path = write_serving_file(
+        "smoke",
+        out_dir=tmp_path,
+        config=LoadgenConfig(n_requests=64, concurrency=8, max_batch=8),
+    )
+    assert path.name == "BENCH_serving.json"
+    validate_serving_payload(json.loads(path.read_text()))
+
+
+def test_write_serving_file_rejects_unknown_profile(tmp_path):
+    with pytest.raises(ValueError, match="unknown serving profile"):
+        write_serving_file("nope", out_dir=tmp_path)
+
+
+def test_loadgen_config_validation():
+    with pytest.raises(ValueError, match="n_requests"):
+        LoadgenConfig(n_requests=0)
+    with pytest.raises(ValueError, match="concurrency"):
+        LoadgenConfig(concurrency=-1)
+    with pytest.raises(ValueError, match="dispatch"):
+        LoadgenConfig(dispatch="fork").microbatch()
+
+
+@pytest.mark.parametrize(
+    ("mutate", "message"),
+    [
+        (lambda p: p.__setitem__("schema_version", 99), "schema_version"),
+        (lambda p: p["workload"].__setitem__("dim", "big"), "workload.dim"),
+        (
+            lambda p: p["checks"].__setitem__("predictions_match_single", False),
+            "diverged",
+        ),
+        (lambda p: p["checks"].__setitem__("zero_dropped", False), "dropped"),
+        (
+            lambda p: p["results"]["requests"].__setitem__("dropped", 3),
+            "dropped",
+        ),
+        (
+            lambda p: p["results"]["flush_reasons"].__setitem__("max_wait", 999),
+            "flush_reasons",
+        ),
+        (
+            lambda p: p["results"]["latency_seconds"].__setitem__("p50", 1e9),
+            "percentiles",
+        ),
+        (lambda p: p.__delitem__("telemetry"), "telemetry"),
+    ],
+)
+def test_schema_rejects_corrupted_payloads(smoke_payload, mutate, message):
+    corrupted = copy.deepcopy(smoke_payload)
+    mutate(corrupted)
+    with pytest.raises(ValueError, match=message):
+        validate_serving_payload(corrupted)

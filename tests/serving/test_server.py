@@ -1,0 +1,112 @@
+"""TCP front-end round trips: JSON-lines protocol, typed error responses."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import InferenceService, MicrobatchConfig, ServingServer
+
+
+async def _request(reader, writer, payload) -> dict:
+    writer.write((json.dumps(payload) + "\n").encode())
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def test_server_round_trip_matches_predict(fitted_lookhd, small_dataset):
+    queries = np.asarray(small_dataset.test_features, dtype=np.float64)[:8]
+    expected = fitted_lookhd.predict(queries)
+
+    async def drive():
+        service = InferenceService(
+            fitted_lookhd, MicrobatchConfig(max_batch=4, max_wait_ms=5.0)
+        )
+        async with ServingServer(service, port=0) as server:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            responses = [
+                await _request(
+                    reader, writer, {"id": i, "features": queries[i].tolist()}
+                )
+                for i in range(queries.shape[0])
+            ]
+            writer.close()
+            await writer.wait_closed()
+        return responses
+
+    responses = asyncio.run(drive())
+    assert [r["id"] for r in responses] == list(range(8))
+    np.testing.assert_array_equal(
+        np.asarray([r["prediction"] for r in responses]), expected
+    )
+
+
+def test_server_error_responses_keep_connection_open(fitted_lookhd, small_dataset):
+    query = np.asarray(small_dataset.test_features, dtype=np.float64)[0]
+
+    async def drive():
+        service = InferenceService(
+            fitted_lookhd, MicrobatchConfig(max_batch=4, max_wait_ms=5.0)
+        )
+        async with ServingServer(service, port=0) as server:
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            # Malformed JSON, wrong shape, NaN features, missing key — each
+            # answered with error "invalid", none of them kill the session.
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            broken = json.loads(await reader.readline())
+            short = await _request(
+                reader, writer, {"id": 1, "features": query[:-1].tolist()}
+            )
+            nan_row = query.tolist()
+            nan_row[0] = float("nan")
+            not_finite = await _request(
+                reader, writer, {"id": 2, "features": nan_row}
+            )
+            no_features = await _request(reader, writer, {"id": 3})
+            ok = await _request(
+                reader, writer, {"id": 4, "features": query.tolist()}
+            )
+            writer.close()
+            await writer.wait_closed()
+        return broken, short, not_finite, no_features, ok
+
+    broken, short, not_finite, no_features, ok = asyncio.run(drive())
+    assert broken["error"] == "invalid"
+    assert short["error"] == "invalid" and short["id"] == 1
+    assert not_finite["error"] == "invalid" and "non-finite" in not_finite["detail"]
+    assert no_features["error"] == "invalid" and no_features["id"] == 3
+    assert ok["prediction"] == int(fitted_lookhd.predict(query))
+
+
+def test_server_reports_closed_service(fitted_lookhd, small_dataset):
+    query = np.asarray(small_dataset.test_features, dtype=np.float64)[0]
+
+    async def drive():
+        service = InferenceService(fitted_lookhd)
+        server = ServingServer(service, port=0)
+        await server.start()
+        port = server.port
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        # Stop only the microbatcher; the TCP listener still answers and
+        # must translate the typed error.
+        await service.stop()
+        response = await _request(
+            reader, writer, {"id": 0, "features": query.tolist()}
+        )
+        writer.close()
+        await writer.wait_closed()
+        await server.stop()
+        return response
+
+    response = asyncio.run(drive())
+    assert response["error"] == "closed"
+
+
+def test_port_property_requires_start(fitted_lookhd):
+    server = ServingServer(InferenceService(fitted_lookhd))
+    with pytest.raises(RuntimeError, match="not started"):
+        server.port

@@ -82,6 +82,43 @@ class TestRegistry:
         with pytest.raises(ValueError):
             registry.observe("h", 0.1, buckets=(2.0,))
 
+    def test_merge_histogram_matches_per_value_observes(self):
+        buckets = (1.0, 2.0)
+        observed = MetricsRegistry(enabled=True)
+        for value in (0.5, 1.0, 1.5, 99.0):
+            observed.observe("h", value, buckets=buckets)
+        merged = MetricsRegistry(enabled=True)
+        merged.merge_histogram("h", buckets, [2, 1, 1], 102.0)
+        assert merged.snapshot()["histograms"]["h"] == (
+            observed.snapshot()["histograms"]["h"]
+        )
+
+    def test_merge_histogram_accumulates_into_observed(self):
+        registry = MetricsRegistry(enabled=True)
+        buckets = (1.0, 2.0)
+        registry.observe("h", 0.5, buckets=buckets)
+        registry.merge_histogram("h", buckets, [0, 3, 1], 10.0)
+        stanza = registry.snapshot()["histograms"]["h"]
+        assert stanza["counts"] == [1, 3, 1]
+        assert stanza["count"] == 5
+        assert stanza["total"] == pytest.approx(10.5)
+
+    def test_merge_histogram_rejects_wrong_cell_count(self):
+        registry = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError, match="bucket counts"):
+            registry.merge_histogram("h", (1.0, 2.0), [1, 2], 3.0)
+
+    def test_merge_histogram_rejects_bucket_redefinition(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.observe("h", 0.1, buckets=(1.0,))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.merge_histogram("h", (2.0,), [0, 1], 3.0)
+
+    def test_merge_histogram_noop_while_disabled(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.merge_histogram("h", (1.0,), [1, 0], 0.5)
+        assert registry.snapshot()["histograms"] == {}
+
     def test_reset_clears_metrics_keeps_state(self):
         registry = MetricsRegistry(enabled=True)
         registry.count("c")

@@ -100,3 +100,41 @@ class TestBenchCommand:
             ("BENCH_inference.json", "inference"),
         ):
             validate_bench_payload(json.loads((tmp_path / name).read_text()), kind)
+
+
+class TestServingCommands:
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.profile == "full"
+        assert args.concurrency == 64
+        assert args.max_batch == 64
+        assert args.dispatch == "inline"
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8752
+        assert args.max_queue_depth == 1_024
+
+    def test_loadgen_rejects_bad_dispatch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--dispatch", "fork"])
+
+    def test_loadgen_smoke_writes_valid_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.serving import validate_serving_payload
+
+        status = main(
+            ["loadgen", "--profile", "smoke", "--requests", "200",
+             "--concurrency", "16", "--max-batch", "16",
+             "--out-dir", str(tmp_path)]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "BENCH_serving.json" in out
+        assert "0 dropped" in out
+        payload = validate_serving_payload(
+            json.loads((tmp_path / "BENCH_serving.json").read_text())
+        )
+        assert payload["results"]["requests"]["sent"] == 200

@@ -10,25 +10,39 @@ Entry points:
 * ``repro bench`` (CLI) — run a profile and write the JSON files;
 * :func:`repro.bench.runner.run_inference_bench` /
   :func:`repro.bench.runner.run_training_bench` — programmatic use;
+* :func:`repro.bench.runner.run_training_scaling_bench` — worker-count
+  scaling study for the sharded parallel trainer (``training-scaling``
+  profiles);
 * :func:`repro.bench.schema.validate_bench_payload` — structural schema
   check used by tests and CI.
 """
 
 from repro.bench.runner import (
+    DEFAULT_WORKER_COUNTS,
     run_bench_profile,
     run_inference_bench,
     run_training_bench,
+    run_training_scaling_bench,
     write_bench_files,
 )
 from repro.bench.schema import SCHEMA_VERSION, validate_bench_payload
-from repro.bench.workloads import BenchWorkload, profile_workloads
+from repro.bench.workloads import (
+    SCALING_PROFILES,
+    BenchWorkload,
+    is_scaling_profile,
+    profile_workloads,
+)
 
 __all__ = [
     "BenchWorkload",
+    "DEFAULT_WORKER_COUNTS",
+    "SCALING_PROFILES",
+    "is_scaling_profile",
     "profile_workloads",
     "run_bench_profile",
     "run_inference_bench",
     "run_training_bench",
+    "run_training_scaling_bench",
     "write_bench_files",
     "validate_bench_payload",
     "SCHEMA_VERSION",

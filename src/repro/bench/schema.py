@@ -41,6 +41,85 @@ def _check_timing(name: str, stanza: object) -> None:
     _require(stanza["seconds_median"] >= 0, f"timing {name!r} has negative time")
 
 
+def _check_number(label: str, value: object, minimum: float | None = None) -> None:
+    _require(
+        isinstance(value, Real) and not isinstance(value, bool),
+        f"{label} must be a number",
+    )
+    if minimum is not None:
+        _require(value >= minimum, f"{label} must be >= {minimum}")
+
+
+#: Numeric fields required in every scaling point (beyond n_workers /
+#: outputs_sha256 / outputs_match / in_process, which are checked apart).
+_SCALING_POINT_NUMBERS = (
+    "seconds_median",
+    "samples_per_second",
+    "speedup_vs_workers1",
+    "busy_seconds",
+    "setup_seconds",
+    "merge_seconds",
+    "utilisation",
+)
+
+
+def _check_scaling(label: str, scaling: object, checks: dict) -> None:
+    """Validate a workload's ``scaling`` block (training-scaling profiles).
+
+    Every point must carry the bit-identity hash, and the workload-level
+    ``checks.parallel_outputs_match`` must be True — a scaling artifact
+    whose parallel trainer diverged from the sequential one is invalid,
+    not merely slow.
+    """
+    _require(isinstance(scaling, dict), f"workload {label!r} scaling must be an object")
+    worker_counts = scaling.get("worker_counts")
+    _require(
+        isinstance(worker_counts, list) and worker_counts,
+        f"workload {label!r} scaling.worker_counts must be a non-empty list",
+    )
+    for count in worker_counts:
+        _require(
+            isinstance(count, int) and not isinstance(count, bool) and count >= 1,
+            f"workload {label!r} scaling.worker_counts entries must be ints >= 1",
+        )
+    cpu_count = scaling.get("cpu_count")
+    _require(
+        isinstance(cpu_count, int) and not isinstance(cpu_count, bool) and cpu_count >= 1,
+        f"workload {label!r} scaling.cpu_count must be an int >= 1",
+    )
+    points = scaling.get("points")
+    _require(
+        isinstance(points, list) and len(points) == len(worker_counts),
+        f"workload {label!r} scaling.points must have one entry per worker count",
+    )
+    for point in points:
+        _require(isinstance(point, dict), f"workload {label!r} scaling point must be an object")
+        _require(
+            point.get("n_workers") in worker_counts,
+            f"workload {label!r} scaling point n_workers not in worker_counts",
+        )
+        where = f"workload {label!r} scaling point w={point.get('n_workers')}"
+        for field in _SCALING_POINT_NUMBERS:
+            _check_number(f"{where} {field}", point.get(field), minimum=0)
+        _require(
+            isinstance(point.get("outputs_sha256"), str),
+            f"{where} missing outputs_sha256",
+        )
+        _require(
+            isinstance(point.get("outputs_match"), bool),
+            f"{where} missing outputs_match",
+        )
+        _require(
+            isinstance(point.get("in_process"), bool),
+            f"{where} missing in_process",
+        )
+    _require(
+        checks.get("parallel_outputs_match") is True,
+        f"workload {label!r} parallel trainer diverged from sequential "
+        "(checks.parallel_outputs_match must be True)",
+    )
+
+
 def validate_bench_payload(payload: object, benchmark: str | None = None) -> dict:
     """Validate a loaded ``BENCH_*.json`` payload; returns it on success.
 
@@ -78,7 +157,10 @@ def validate_bench_payload(payload: object, benchmark: str | None = None) -> dic
         _require(isinstance(timings, dict), f"workload {label!r} missing timings")
         for name in _REQUIRED_TIMINGS[kind]:
             _require(name in timings, f"workload {label!r} missing timing {name!r}")
-            _check_timing(f"{label}.{name}", timings[name])
+        # Every stanza present — required or extra (e.g. train_parallel_w4)
+        # — must be well-formed.
+        for name, stanza in timings.items():
+            _check_timing(f"{label}.{name}", stanza)
         speedups = entry.get("speedups")
         _require(isinstance(speedups, dict), f"workload {label!r} missing speedups")
         for name in _REQUIRED_SPEEDUPS[kind]:
@@ -97,6 +179,12 @@ def validate_bench_payload(payload: object, benchmark: str | None = None) -> dic
             isinstance(checks.get("outputs_sha256"), str),
             f"workload {label!r} missing outputs_sha256 checksum",
         )
+        if "scaling" in entry:
+            _require(
+                kind == "training",
+                f"workload {label!r} has a scaling block outside a training bench",
+            )
+            _check_scaling(label, entry["scaling"], checks)
     # Optional so pre-telemetry payloads keep validating; the current
     # runner always embeds an instrumented-pass snapshot.
     if "telemetry" in payload:

@@ -94,15 +94,33 @@ _SMOKE = (
     ),
 )
 
-_PROFILES = {"full": _FULL, "smoke": _SMOKE}
+#: Profiles whose bench run is the worker-count scaling study (training
+#: only): each workload is trained sequentially and at several
+#: ``ParallelTrainer`` worker counts, with bit-identity checked at every
+#: point.  The ``training-scaling`` profile reuses the full workload set
+#: (the ≥ 2.5×-at-4-workers gate reads the ``paper_d2000_q4_k13`` shape);
+#: the smoke variant is CI-sized.
+SCALING_PROFILES = ("training-scaling", "training-scaling-smoke")
+
+_PROFILES = {
+    "full": _FULL,
+    "smoke": _SMOKE,
+    "training-scaling": _FULL,
+    "training-scaling-smoke": _SMOKE,
+}
 
 
 def profile_names() -> tuple[str, ...]:
     return tuple(_PROFILES)
 
 
+def is_scaling_profile(profile: str) -> bool:
+    """Whether a profile runs the worker-count scaling bench."""
+    return profile in SCALING_PROFILES
+
+
 def profile_workloads(profile: str) -> tuple[BenchWorkload, ...]:
-    """Workloads for a named profile (``full`` or ``smoke``)."""
+    """Workloads for a named profile (see :func:`profile_names`)."""
     try:
         return _PROFILES[profile]
     except KeyError:

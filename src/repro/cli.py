@@ -64,7 +64,10 @@ def _cmd_train(args) -> int:
     )
     clf = LookHDClassifier(config)
     trace = clf.fit(
-        data.train_features, data.train_labels, retrain_iterations=args.retrain
+        data.train_features,
+        data.train_labels,
+        retrain_iterations=args.retrain,
+        n_workers=args.workers,
     )
     accuracy = clf.score(data.test_features, data.test_labels)
     print(f"test accuracy: {accuracy:.4f}")
@@ -105,13 +108,33 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_worker_counts(text: str) -> tuple[int, ...]:
+    """Parse ``--worker-counts``: a comma list of positive ints, e.g. 1,2,4."""
+    try:
+        counts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"could not parse worker counts {text!r}; expected e.g. 1,2,4"
+        ) from None
+    if not counts or any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError("worker counts must be positive ints")
+    return counts
+
+
 def _cmd_bench(args) -> int:
     from repro.bench import write_bench_files
 
     training_path, inference_path = write_bench_files(
-        args.profile, out_dir=args.out_dir, repeats=args.repeats
+        args.profile,
+        out_dir=args.out_dir,
+        repeats=args.repeats,
+        n_workers=args.workers,
+        worker_counts=args.worker_counts,
     )
-    print(f"wrote {training_path} and {inference_path}")
+    if inference_path is None:
+        print(f"wrote {training_path}")
+    else:
+        print(f"wrote {training_path} and {inference_path}")
     return 0
 
 
@@ -154,7 +177,7 @@ def _cmd_faults(args) -> int:
         seed=args.seed,
         targets=targets,
     )
-    path = write_faults_file(config, out_dir=args.out_dir)
+    path = write_faults_file(config, out_dir=args.out_dir, n_workers=args.workers)
     print(f"wrote {path}")
     return 0
 
@@ -291,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--retrain", type=int, default=5)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--no-compress", action="store_true")
+    train.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="train with the sharded multi-process trainer (bit-identical "
+        "to sequential; >1 needs spare cores to pay off)",
+    )
     train.add_argument("--out", help="save the trained model to this .npz path")
     train.set_defaults(func=_cmd_train)
 
@@ -309,12 +339,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--profile",
         default="full",
-        choices=["full", "smoke"],
-        help="workload set: 'full' is the perf gate, 'smoke' a CI-sized run",
+        choices=["full", "smoke", "training-scaling", "training-scaling-smoke"],
+        help="workload set: 'full' is the perf gate, 'smoke' a CI-sized run; "
+        "'training-scaling[-smoke]' sweeps the sharded trainer over worker "
+        "counts and writes only BENCH_training.json",
     )
     bench.add_argument("--out-dir", default=".", help="directory for the BENCH_*.json files")
     bench.add_argument(
         "--repeats", type=_positive_int, default=3, help="timed runs per stage (>= 1)"
+    )
+    bench.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="fan independent workloads out over this many processes "
+        "(non-scaling profiles only; concurrent workloads contend for "
+        "cores, so keep 1 when the timings are the deliverable)",
+    )
+    bench.add_argument(
+        "--worker-counts",
+        type=_parse_worker_counts,
+        default=(1, 2, 4),
+        metavar="N,N,...",
+        help="worker counts swept by the training-scaling profiles",
     )
     bench.set_defaults(func=_cmd_bench)
 
@@ -340,6 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="TARGET",
         help="memories to fault (default: all deployed BRAMs)",
+    )
+    faults.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="run fault trials across this many processes (results are "
+        "byte-identical to the sequential sweep for any worker count)",
     )
     faults.add_argument("--out-dir", default=".", help="directory for BENCH_faults.json")
     faults.set_defaults(func=_cmd_faults)

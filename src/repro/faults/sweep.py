@@ -23,6 +23,18 @@ small perturbations until a value crosses a quantile edge).
 
 The output payload is validated by :mod:`repro.faults.schema` and written
 as ``BENCH_faults.json`` next to the perf harness's artifacts.
+
+Parallel execution
+------------------
+Every ``(variant, ber, trial)`` fault trial is independent, so the sweep
+fans them out over :class:`repro.parallel.ProcessExecutor` when asked
+(``n_workers > 1``).  Per-trial RNG seeds are derived up front in the
+parent via ``np.random.SeedSequence.spawn`` — a pure function of the
+sweep config, never of the worker assignment — so the payload is
+byte-identical regardless of worker count (tested in
+``tests/parallel/test_parallel_sweep.py``).  Each worker fits its own
+copy of the three deterministic variant models once (executor
+initializer) and then serves any number of trials against them.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ from repro.faults.schema import FAULTS_SCHEMA_VERSION, validate_faults_payload
 from repro.faults.targets import DEFAULT_TARGETS, FaultSpec, inject_classifier_faults
 from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
 from repro.lookhd.noise import compression_noise_report
+from repro.parallel.executor import ProcessExecutor
 from repro.utils.validation import check_positive_int
 
 #: Threshold used for the headline "safe BER" metric: the largest swept
@@ -138,9 +151,8 @@ def _noise_stats(clf: LookHDClassifier, queries: np.ndarray) -> dict | None:
     }
 
 
-def run_ber_sweep(config: SweepConfig) -> dict:
-    """Run the full sweep; returns the schema-validated report payload."""
-    data = make_synthetic_classification(
+def _sweep_dataset(config: SweepConfig):
+    return make_synthetic_classification(
         SyntheticSpec(
             n_features=config.n_features,
             n_classes=config.n_classes,
@@ -150,35 +162,131 @@ def run_ber_sweep(config: SweepConfig) -> dict:
         ),
         name="faults",
     )
+
+
+def _clean_queries(clf: LookHDClassifier, test_x: np.ndarray) -> np.ndarray:
+    return clf.encoder.encode_many(test_x[: min(64, test_x.shape[0])])
+
+
+def trial_seeds(config: SweepConfig) -> dict[tuple[str, int, int], int]:
+    """Per-trial RNG seeds, ``(variant, ber_index, trial) -> int``.
+
+    Derived with ``np.random.SeedSequence.spawn`` from ``config.seed``
+    alone, in a fixed (variant, ber, trial) order — a pure function of the
+    config, so sequential and parallel sweeps inject identical faults and
+    every trial gets a statistically independent stream.
+    """
+    root = np.random.SeedSequence(config.seed)
+    children = root.spawn(len(MODEL_VARIANTS) * len(config.bers) * config.trials)
+    seeds = {}
+    position = 0
+    for variant in MODEL_VARIANTS:
+        for ber_index in range(len(config.bers)):
+            for trial in range(config.trials):
+                seeds[(variant, ber_index, trial)] = int(
+                    children[position].generate_state(1, dtype=np.uint32)[0]
+                )
+                position += 1
+    return seeds
+
+
+#: Worker-process state for the parallel sweep (set by the initializer).
+_SWEEP_WORKER: dict = {}
+
+
+def _init_sweep_worker(config: SweepConfig) -> None:
+    """Fit the three deterministic variant models once per worker."""
+    data = _sweep_dataset(config)
     test_x = data.test_features
     test_y = np.asarray(data.test_labels)
+    variants = {}
+    for variant in MODEL_VARIANTS:
+        clf = _fit_variant(variant, config, data)
+        variants[variant] = (clf, _clean_queries(clf, test_x))
+    _SWEEP_WORKER.update(config=config, test_x=test_x, test_y=test_y, variants=variants)
+
+
+def _reset_sweep_worker() -> None:
+    _SWEEP_WORKER.clear()
+
+
+def _run_fault_trial(task: tuple[str, float, int, bool]) -> dict:
+    """One independent fault trial; pure function of the task tuple."""
+    variant, ber, seed, want_noise = task
+    config: SweepConfig = _SWEEP_WORKER["config"]
+    clf, clean_queries = _SWEEP_WORKER["variants"][variant]
+    spec = FaultSpec(
+        ber=ber,
+        targets=config.targets,
+        seed=seed,
+        fixed_point_width=config.fixed_point_width,
+    )
+    faulted, fault_report = inject_classifier_faults(clf, spec)
+    return {
+        "accuracy": float(faulted.score(_SWEEP_WORKER["test_x"], _SWEEP_WORKER["test_y"])),
+        "bits_per_target": dict(fault_report.bits_per_target),
+        "total_bits": int(fault_report.total_bits),
+        "noise": _noise_stats(faulted, clean_queries) if want_noise else None,
+    }
+
+
+def run_ber_sweep(config: SweepConfig, n_workers: int | None = 1) -> dict:
+    """Run the full sweep; returns the schema-validated report payload.
+
+    ``n_workers > 1`` fans the independent fault trials out over a process
+    pool; the payload is byte-identical to the sequential run (the seeds
+    come from :func:`trial_seeds` either way, and there are no timing
+    fields in this report).
+    """
+    data = _sweep_dataset(config)
+    test_x = data.test_features
+    test_y = np.asarray(data.test_labels)
+    seeds = trial_seeds(config)
+    max_ber = max(config.bers)
+
+    keys = []
+    tasks = []
+    for variant in MODEL_VARIANTS:
+        for ber_index, ber in enumerate(config.bers):
+            for trial in range(config.trials):
+                keys.append((variant, ber_index, trial))
+                tasks.append(
+                    (
+                        variant,
+                        float(ber),
+                        seeds[(variant, ber_index, trial)],
+                        bool(ber == max_ber and trial == 0),
+                    )
+                )
+    executor = ProcessExecutor(
+        n_workers,
+        initializer=_init_sweep_worker,
+        initargs=(config,),
+        finalizer=_reset_sweep_worker,
+    )
+    with telemetry.timer("faults.sweep_seconds"):
+        trial_results = dict(zip(keys, executor.map(_run_fault_trial, tasks)))
 
     models = []
     for variant in MODEL_VARIANTS:
         clf = _fit_variant(variant, config, data)
         clean_accuracy = clf.score(test_x, test_y)
-        clean_queries = clf.encoder.encode_many(test_x[: min(64, test_x.shape[0])])
+        clean_queries = _clean_queries(clf, test_x)
         curve = []
         exposed_bits_total = None
         worst_noise = None
-        for ber in config.bers:
+        for ber_index, ber in enumerate(config.bers):
             accuracies = []
             for trial in range(config.trials):
-                spec = FaultSpec(
-                    ber=ber,
-                    targets=config.targets,
-                    seed=config.seed * 1000 + trial,
-                    fixed_point_width=config.fixed_point_width,
-                )
-                faulted, fault_report = inject_classifier_faults(clf, spec)
-                for target, bits in fault_report.bits_per_target.items():
+                result = trial_results[(variant, ber_index, trial)]
+                for target, bits in result["bits_per_target"].items():
                     telemetry.count("faults.injections", target=target)
                     telemetry.count("faults.bits_exposed", bits, target=target)
-                accuracies.append(faulted.score(test_x, test_y))
+                accuracies.append(result["accuracy"])
                 if exposed_bits_total is None:
-                    exposed_bits_total = fault_report.total_bits
-                if ber == max(config.bers) and trial == 0:
-                    worst_noise = _noise_stats(faulted, clean_queries)
+                    exposed_bits_total = result["total_bits"]
+                if result["noise"] is not None:
+                    worst_noise = result["noise"]
             accuracies = np.asarray(accuracies, dtype=np.float64)
             curve.append(
                 {
@@ -240,12 +348,15 @@ def run_ber_sweep(config: SweepConfig) -> dict:
 
 
 def write_faults_file(
-    config: SweepConfig, out_dir: str | Path = ".", stream=None
+    config: SweepConfig,
+    out_dir: str | Path = ".",
+    stream=None,
+    n_workers: int | None = 1,
 ) -> Path:
     """Run a sweep and write ``BENCH_faults.json``; returns the file path."""
     if stream is None:
         stream = sys.stdout
-    payload = run_ber_sweep(config)
+    payload = run_ber_sweep(config, n_workers=n_workers)
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / "BENCH_faults.json"

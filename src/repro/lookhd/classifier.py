@@ -124,6 +124,7 @@ class LookHDClassifier:
         labels: np.ndarray,
         retrain_iterations: int = 0,
         validation: tuple[np.ndarray, np.ndarray] | None = None,
+        n_workers: int | None = None,
     ) -> RetrainTrace:
         """Train from scratch: counters → class model → (compression) → retrain.
 
@@ -135,6 +136,11 @@ class LookHDClassifier:
             Perceptron passes over the compressed (or raw) model.
         validation:
             Optional raw ``(features, labels)`` for the retraining trace.
+        n_workers:
+            Shard the counter-training pass across this many worker
+            processes (:class:`~repro.parallel.ParallelTrainer`); the
+            resulting model is bit-identical to the sequential path.
+            ``None``/``1`` trains in-process.
 
         Returns
         -------
@@ -154,7 +160,14 @@ class LookHDClassifier:
         self.encoder = LookupEncoder(
             self.quantizer, table, layout, seed=derive_rng(cfg.seed, "lookhd-positions")
         )
-        self.trainer = LookHDTrainer(self.encoder, self.n_classes)
+        if n_workers is not None and n_workers > 1:
+            # Imported lazily: the lookhd package must stay importable
+            # without pulling in the multiprocessing machinery.
+            from repro.parallel.trainer import ParallelTrainer
+
+            self.trainer = ParallelTrainer(self.encoder, self.n_classes, n_workers=n_workers)
+        else:
+            self.trainer = LookHDTrainer(self.encoder, self.n_classes)
         self.trainer.observe(batch, labels)
         self.class_model = self.trainer.build_model()
         if cfg.compress:

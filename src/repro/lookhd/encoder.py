@@ -97,6 +97,19 @@ class LookupEncoder:
     def n_features(self) -> int:
         return self.layout.n_features
 
+    def __getstate__(self) -> dict:
+        # The pre-bound table is a pure cache of table × positions; drop it
+        # so worker broadcasts stay small.  It also must not be pickled:
+        # the _UNSET sentinel would not survive a round trip (a fresh
+        # ``object()`` on unpickling would no longer be ``is _UNSET``).
+        state = self.__dict__.copy()
+        state.pop("_prebound", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._prebound = _UNSET
+
     def addresses(self, features: np.ndarray) -> np.ndarray:
         """Quantize and form chunk addresses: ``(N, n)`` floats → ``(N, m)`` ints."""
         batch = check_2d(features, "features")

@@ -50,18 +50,25 @@ class LookHDTrainer:
             for _ in range(self.n_classes)
         ]
 
-    def observe(self, features: np.ndarray, labels: np.ndarray) -> None:
-        """Count chunk addresses for a batch of labelled samples.
-
-        May be called repeatedly (streaming / out-of-core training); the
-        model is only materialised by :meth:`build_model`.
-        """
+    def _validate_batch(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shared input checks for the sequential and parallel observe paths."""
         batch = check_2d(features, "features")
         labels = np.asarray(labels)
         if labels.ndim != 1 or labels.shape[0] != batch.shape[0]:
             raise ValueError("labels must be 1-D and align with features")
         if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
             raise ValueError(f"labels must be in [0, {self.n_classes})")
+        return batch, labels
+
+    def observe(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """Count chunk addresses for a batch of labelled samples.
+
+        May be called repeatedly (streaming / out-of-core training); the
+        model is only materialised by :meth:`build_model`.
+        """
+        batch, labels = self._validate_batch(features, labels)
         with telemetry.timer("trainer.observe_seconds"):
             addresses = self.encoder.addresses(batch)  # (N, m)
             for class_index in range(self.n_classes):

@@ -39,6 +39,7 @@ from repro.telemetry.registry import (
     DEFAULT_BUCKETS,
     NULL_TIMER,
     MetricsRegistry,
+    merge_snapshots,
     metric_name,
 )
 from repro.telemetry.schema import (
@@ -60,6 +61,7 @@ __all__ = [
     "get_registry",
     "is_enabled",
     "merge_histogram",
+    "merge_snapshots",
     "metric_name",
     "observe",
     "reset",

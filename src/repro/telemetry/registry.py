@@ -30,6 +30,7 @@ import time
 __all__ = [
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
+    "merge_snapshots",
     "metric_name",
     "TimerHandle",
 ]
@@ -272,3 +273,46 @@ class MetricsRegistry:
             self._counters.clear()
             self._timers.clear()
             self._histograms.clear()
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Combine :meth:`MetricsRegistry.snapshot` dicts from several sources.
+
+    The reduce step for per-worker registries (parallel bench runs record
+    telemetry in each worker process and merge in the parent): counters
+    add, timers add counts/totals and keep the max, histograms add cell
+    counts — but only across identical bucket layouts (mismatched layouts
+    raise ``ValueError``, the same contract as
+    :meth:`MetricsRegistry.observe`).
+    """
+    merged = {"counters": {}, "timers": {}, "histograms": {}}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + int(value)
+        for name, stat in snapshot.get("timers", {}).items():
+            into = merged["timers"].setdefault(
+                name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+            )
+            into["count"] += int(stat["count"])
+            into["total_seconds"] += float(stat["total_seconds"])
+            into["max_seconds"] = max(into["max_seconds"], float(stat["max_seconds"]))
+        for name, stat in snapshot.get("histograms", {}).items():
+            into = merged["histograms"].get(name)
+            if into is None:
+                merged["histograms"][name] = {
+                    "buckets": list(stat["buckets"]),
+                    "counts": list(stat["counts"]),
+                    "count": int(stat["count"]),
+                    "total": float(stat["total"]),
+                }
+                continue
+            if list(stat["buckets"]) != into["buckets"]:
+                raise ValueError(
+                    f"histogram {name!r} has mismatched bucket layouts across snapshots"
+                )
+            into["counts"] = [
+                existing + int(new) for existing, new in zip(into["counts"], stat["counts"])
+            ]
+            into["count"] += int(stat["count"])
+            into["total"] += float(stat["total"])
+    return merged

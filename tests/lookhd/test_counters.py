@@ -2,7 +2,7 @@ import numpy as np
 import pytest
 
 from repro.hdc.item_memory import RandomItemMemory
-from repro.lookhd.counters import ChunkCounters
+from repro.lookhd.counters import ChunkCounters, CounterOverflowError
 
 
 class TestChunkCounters:
@@ -80,3 +80,88 @@ class TestChunkCounters:
 
     def test_memory_bytes(self):
         assert ChunkCounters(3, 16).memory_bytes(4) == 3 * 16 * 4
+
+
+class TestOverflowHardening:
+    """Saturation is detected before mutation: widen or raise, never wrap."""
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkCounters(2, 4, dtype=np.float64)
+        with pytest.raises(ValueError):
+            ChunkCounters(2, 4, dtype=np.uint8)
+
+    def test_observe_widens_before_wrapping(self):
+        counters = ChunkCounters(1, 4, dtype=np.int8)
+        counters.observe(np.zeros((100, 1), dtype=np.int64))
+        assert counters.dtype == np.int8
+        counters.observe(np.zeros((100, 1), dtype=np.int64))  # peak 200 > 127
+        assert counters.dtype == np.int16
+        assert counters.counts[0, 0] == 200
+        assert counters.n_samples == 200
+
+    def test_widened_counters_materialize_like_int64(self):
+        rng = np.random.default_rng(3)
+        table = rng.integers(-3, 4, size=(4, 16))
+        positions = RandomItemMemory(1, 16, rng=5).vectors
+        small = ChunkCounters(1, 4, dtype=np.int8)
+        wide = ChunkCounters(1, 4)
+        for _ in range(6):
+            batch = rng.integers(0, 4, size=(100, 1))
+            small.observe(batch)
+            wide.observe(batch)
+        assert small.dtype == np.int16  # widened along the way (600 samples / 4 rows)
+        assert np.array_equal(
+            small.materialize(table, positions), wide.materialize(table, positions)
+        )
+
+    def test_widen_false_raises_and_leaves_state_intact(self):
+        counters = ChunkCounters(1, 4, dtype=np.int8, widen=False)
+        counters.observe(np.zeros((100, 1), dtype=np.int64))
+        before = counters.counts.copy()
+        with pytest.raises(CounterOverflowError):
+            counters.observe(np.zeros((100, 1), dtype=np.int64))
+        assert counters.dtype == np.int8
+        assert np.array_equal(counters.counts, before)
+        assert counters.n_samples == 100
+
+    def test_merge_widens(self):
+        a = ChunkCounters(1, 4, dtype=np.int8)
+        b = ChunkCounters(1, 4, dtype=np.int8)
+        a.observe(np.zeros((100, 1), dtype=np.int64))
+        b.observe(np.zeros((100, 1), dtype=np.int64))
+        a.merge(b)
+        assert a.dtype == np.int16
+        assert a.counts[0, 0] == 200
+        assert a.n_samples == 200
+
+    def test_merge_rejects_non_counters(self):
+        with pytest.raises(TypeError):
+            ChunkCounters(2, 4).merge(np.zeros((2, 4)))
+
+    def test_merge_rejects_corrupted_counts_array(self):
+        a = ChunkCounters(2, 4)
+        b = ChunkCounters(2, 4)
+        b.counts = np.zeros((2, 5), dtype=np.int64)  # corrupted in transit
+        with pytest.raises(ValueError, match="corrupted"):
+            a.merge(b)
+
+    def test_merge_rejects_negative_sample_count(self):
+        a = ChunkCounters(2, 4)
+        b = ChunkCounters(2, 4)
+        b.n_samples = -1
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_from_counts_round_trip(self):
+        counts = np.arange(8, dtype=np.int64).reshape(2, 4)
+        counters = ChunkCounters.from_counts(counts, n_samples=7)
+        assert np.array_equal(counters.counts, counts)
+        assert counters.n_samples == 7
+        assert counters.dtype == np.int64
+
+    def test_from_counts_validation(self):
+        with pytest.raises(ValueError):
+            ChunkCounters.from_counts(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            ChunkCounters.from_counts(np.zeros((2, 4), dtype=np.int64), n_samples=-1)

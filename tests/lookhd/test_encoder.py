@@ -105,3 +105,30 @@ class TestLookupEncoder:
                 single = encoder.encode(batch[index])
                 assert single.shape == (encoder.dim,)
                 assert np.array_equal(single, encoded_batch[index])
+
+
+class TestEncoderPickling:
+    def test_pickle_round_trip_encodes_identically(self):
+        # The parallel trainer broadcasts the fitted encoder to worker
+        # processes by pickling it; the copy must encode bit-identically.
+        import pickle
+
+        encoder = make_encoder()
+        batch = np.random.default_rng(11).random((5, 12))
+        expected = encoder.encode(batch)
+        clone = pickle.loads(pickle.dumps(encoder))
+        assert np.array_equal(clone.encode(batch), expected)
+        assert np.array_equal(clone.addresses(batch), encoder.addresses(batch))
+
+    def test_pickle_drops_prebound_cache(self):
+        # The lazy pre-bound table is a cache keyed by a module-level
+        # sentinel; it must not travel (the sentinel's identity does not
+        # survive pickling) and must rebuild on demand in the clone.
+        import pickle
+
+        encoder = make_encoder()
+        batch = np.random.default_rng(12).random((4, 12))
+        encoder.encode(batch)  # builds the pre-bound cache when in budget
+        clone = pickle.loads(pickle.dumps(encoder))
+        assert clone.prebound_table is None or isinstance(clone.prebound_table, np.ndarray)
+        assert np.array_equal(clone.encode(batch), encoder.encode(batch))

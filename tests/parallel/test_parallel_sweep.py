@@ -1,0 +1,43 @@
+"""Parallel fault sweep: byte-identical to sequential for any worker count."""
+
+import json
+
+import pytest
+
+from repro.faults.sweep import SweepConfig, run_ber_sweep, trial_seeds
+from repro.parallel.executor import shared_memory_available
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this platform"
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SweepConfig(
+        bers=(1e-3, 1e-2),
+        dim=128,
+        n_features=16,
+        n_classes=3,
+        n_train=90,
+        n_test=60,
+        trials=2,
+        noise_sigmas=(),
+        retrain_iterations=0,
+    )
+
+
+def test_parallel_sweep_is_byte_identical(config):
+    sequential = run_ber_sweep(config, n_workers=1)
+    parallel = run_ber_sweep(config, n_workers=2)
+    assert json.dumps(sequential, sort_keys=True) == json.dumps(parallel, sort_keys=True)
+
+
+def test_trial_seeds_deterministic_and_collision_free(config):
+    """SeedSequence-spawned trial seeds depend only on the config."""
+    seeds = trial_seeds(config)
+    assert seeds == trial_seeds(config)
+    # One seed per (variant, ber index, trial), no collisions.
+    assert len(set(seeds.values())) == len(seeds)
+    variants = {variant for variant, _, _ in seeds}
+    assert len(seeds) == len(variants) * len(config.bers) * config.trials

@@ -1,0 +1,115 @@
+"""Bit-identity gate: the sharded trainer must equal the sequential one."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.trainer import LookHDTrainer
+from repro.parallel.executor import shared_memory_available
+from repro.parallel.trainer import ParallelTrainer
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this platform"
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    spec = SyntheticSpec(
+        n_features=24, n_classes=4, n_train=160, n_test=80, seed=7
+    )
+    return make_synthetic_classification(spec, name="parallel")
+
+
+_FITTED_CACHE = {}
+
+
+def _fitted(data, levels, decorrelate):
+    """A fitted classifier per (q, decorrelate) cell, shared across the grid."""
+    key = (levels, decorrelate)
+    if key not in _FITTED_CACHE:
+        clf = LookHDClassifier(
+            LookHDConfig(
+                dim=256, levels=levels, chunk_size=4, decorrelate=decorrelate, seed=3
+            )
+        )
+        clf.fit(data.train_features, data.train_labels)
+        _FITTED_CACHE[key] = clf
+    return _FITTED_CACHE[key]
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+@pytest.mark.parametrize("decorrelate", [False, True])
+@pytest.mark.parametrize("levels", [2, 4])
+def test_bit_identity_grid(data, levels, decorrelate, n_workers):
+    """q ∈ {2, 4} × decorrelate on/off × n_workers ∈ {1, 2, 4}: exact match."""
+    clf = _fitted(data, levels, decorrelate)
+    sequential = LookHDTrainer(clf.encoder, clf.n_classes)
+    sequential.observe(data.train_features, data.train_labels)
+    parallel = ParallelTrainer(clf.encoder, clf.n_classes, n_workers=n_workers)
+    parallel.observe(data.train_features, data.train_labels)
+    assert np.array_equal(
+        parallel.build_model().class_vectors, sequential.build_model().class_vectors
+    )
+
+
+def test_empty_shards_when_workers_outnumber_samples(data):
+    clf = _fitted(data, 4, True)
+    tiny_x = data.train_features[:3]
+    tiny_y = data.train_labels[:3]
+    sequential = LookHDTrainer(clf.encoder, clf.n_classes)
+    sequential.observe(tiny_x, tiny_y)
+    parallel = ParallelTrainer(clf.encoder, clf.n_classes, n_workers=8)
+    parallel.observe(tiny_x, tiny_y)
+    assert np.array_equal(
+        parallel.build_model().class_vectors, sequential.build_model().class_vectors
+    )
+
+
+def test_streaming_observe_matches_one_shot(data):
+    """Two sharded observe calls accumulate exactly like one sequential pass."""
+    clf = _fitted(data, 4, False)
+    sequential = LookHDTrainer(clf.encoder, clf.n_classes)
+    sequential.observe(data.train_features, data.train_labels)
+    parallel = ParallelTrainer(clf.encoder, clf.n_classes, n_workers=2)
+    half = data.train_features.shape[0] // 2
+    parallel.observe(data.train_features[:half], data.train_labels[:half])
+    parallel.observe(data.train_features[half:], data.train_labels[half:])
+    assert np.array_equal(
+        parallel.build_model().class_vectors, sequential.build_model().class_vectors
+    )
+
+
+def test_single_worker_falls_back_in_process(data):
+    clf = _fitted(data, 4, False)
+    trainer = ParallelTrainer(clf.encoder, clf.n_classes, n_workers=1)
+    trainer.observe(data.train_features, data.train_labels)
+    assert trainer.last_parallel_stats is None  # sequential fallback path
+
+
+def test_parallel_stats_recorded(data):
+    clf = _fitted(data, 4, False)
+    trainer = ParallelTrainer(clf.encoder, clf.n_classes, n_workers=2)
+    trainer.observe(data.train_features, data.train_labels)
+    stats = trainer.last_parallel_stats
+    assert stats is not None
+    assert stats["n_workers"] == 2
+    assert len(stats["shard_seconds"]) == 2
+    assert stats["shared_bytes"] > 0
+    assert stats["wall_seconds"] >= stats["merge_seconds"]
+    assert 0.0 <= stats["utilisation"] <= 1.0
+
+
+def test_classifier_fit_n_workers_is_bit_identical(data):
+    sequential = LookHDClassifier(LookHDConfig(dim=256, levels=4, chunk_size=4, seed=3))
+    sequential.fit(data.train_features, data.train_labels)
+    parallel = LookHDClassifier(LookHDConfig(dim=256, levels=4, chunk_size=4, seed=3))
+    parallel.fit(data.train_features, data.train_labels, n_workers=2)
+    assert isinstance(parallel.trainer, ParallelTrainer)
+    assert np.array_equal(
+        parallel.class_model.class_vectors, sequential.class_model.class_vectors
+    )
+    assert np.array_equal(
+        parallel.predict(data.test_features), sequential.predict(data.test_features)
+    )

@@ -1,0 +1,96 @@
+"""Training-scaling bench: per-worker-count timings, SHA gate, schema."""
+
+import copy
+
+import pytest
+
+from repro.bench.runner import run_training_scaling_bench, write_bench_files
+from repro.bench.schema import validate_bench_payload
+from repro.bench.workloads import BenchWorkload, is_scaling_profile, profile_workloads
+from repro.parallel.executor import shared_memory_available
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this platform"
+)
+
+_TINY = BenchWorkload(
+    name="tiny_scaling",
+    dim=128,
+    levels=4,
+    chunk_size=4,
+    n_features=16,
+    n_classes=3,
+    n_train=120,
+    n_test=60,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_training_scaling_bench((_TINY,), worker_counts=(1, 2), repeats=1)
+
+
+class TestScalingBench:
+    def test_payload_passes_schema(self, payload):
+        assert validate_bench_payload(payload, "training") is payload
+
+    def test_every_point_is_bit_identical(self, payload):
+        entry = payload["workloads"][0]
+        assert entry["checks"]["parallel_outputs_match"] is True
+        sequential_sha = entry["checks"]["outputs_sha256"]
+        for point in entry["scaling"]["points"]:
+            assert point["outputs_match"] is True
+            assert point["outputs_sha256"] == sequential_sha
+
+    def test_per_worker_timings_present(self, payload):
+        timings = payload["workloads"][0]["timings"]
+        assert {"train_reference", "train_lookup", "train_parallel_w1", "train_parallel_w2"} <= set(
+            timings
+        )
+
+    def test_scaling_block_shape(self, payload):
+        scaling = payload["workloads"][0]["scaling"]
+        assert scaling["worker_counts"] == [1, 2]
+        assert scaling["cpu_count"] >= 1
+        points = {point["n_workers"]: point for point in scaling["points"]}
+        assert points[1]["in_process"] is True
+        assert points[2]["in_process"] is False
+        assert points[1]["speedup_vs_workers1"] == pytest.approx(1.0)
+        assert points[2]["speedup_vs_workers1"] > 0
+
+    def test_schema_rejects_divergent_parallel_outputs(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["workloads"][0]["checks"]["parallel_outputs_match"] = False
+        with pytest.raises(ValueError, match="parallel trainer diverged"):
+            validate_bench_payload(broken, "training")
+
+    def test_schema_rejects_malformed_point(self, payload):
+        broken = copy.deepcopy(payload)
+        del broken["workloads"][0]["scaling"]["points"][0]["outputs_sha256"]
+        with pytest.raises(ValueError, match="outputs_sha256"):
+            validate_bench_payload(broken, "training")
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            run_training_scaling_bench((_TINY,), worker_counts=(), repeats=1)
+        with pytest.raises(ValueError):
+            run_training_scaling_bench((_TINY,), worker_counts=(0,), repeats=1)
+
+
+class TestScalingProfiles:
+    def test_profiles_registered(self):
+        assert is_scaling_profile("training-scaling")
+        assert is_scaling_profile("training-scaling-smoke")
+        assert not is_scaling_profile("full")
+        assert profile_workloads("training-scaling-smoke")
+
+    def test_write_bench_files_writes_training_only(self, tmp_path):
+        training_path, inference_path = write_bench_files(
+            "training-scaling-smoke",
+            out_dir=tmp_path,
+            repeats=1,
+            worker_counts=(1, 2),
+        )
+        assert training_path.exists()
+        assert inference_path is None
+        assert not (tmp_path / "BENCH_inference.json").exists()

@@ -202,3 +202,42 @@ class TestCounterProperties:
         two_d = ChunkCounters(4, n_rows)
         two_d.observe(addresses[np.newaxis, :])
         assert np.array_equal(one_d.counts, two_d.counts)
+
+    @given(
+        seed=seeds,
+        n_chunks=st.integers(1, 5),
+        n_rows=st.integers(2, 16),
+        n_parts=st.integers(2, 5),
+        samples_per_part=st.integers(0, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_order_never_changes_materialize(
+        self, seed, n_chunks, n_rows, n_parts, samples_per_part
+    ):
+        # The parallel trainer's reduce: folding per-shard counters in ANY
+        # order must yield the same counts, n_samples, and materialised
+        # class vector (counter addition commutes).
+        rng = np.random.default_rng(seed)
+        parts = []
+        for _ in range(n_parts):
+            counters = ChunkCounters(n_chunks, n_rows)
+            counters.observe(rng.integers(0, n_rows, size=(samples_per_part, n_chunks)))
+            parts.append(counters)
+        table = rng.integers(-3, 4, size=(n_rows, 16))
+        positions = np.where(rng.random((n_chunks, 16)) < 0.5, -1, 1)
+
+        def reduce_in(order):
+            merged = ChunkCounters(n_chunks, n_rows)
+            for index in order:
+                merged.merge(parts[index])
+            return merged
+
+        forward = reduce_in(range(n_parts))
+        backward = reduce_in(reversed(range(n_parts)))
+        shuffled = reduce_in(rng.permutation(n_parts))
+        for other in (backward, shuffled):
+            assert np.array_equal(forward.counts, other.counts)
+            assert forward.n_samples == other.n_samples
+            assert np.array_equal(
+                forward.materialize(table, positions), other.materialize(table, positions)
+            )

@@ -1,0 +1,164 @@
+"""Per-primitive kernel backend benchmark (the ``kernels`` profiles).
+
+Times every kernel-registry primitive (see
+:data:`repro.kernels.reference.OP_NAMES`) on every available backend at
+the scale of a bench workload, and produces the ``kernels`` block that
+:func:`repro.bench.runner.write_bench_files` embeds in
+``BENCH_inference.json``:
+
+* per primitive: a timing stanza per backend, the best backend, the
+  speedup of the best compiled backend over the NumPy reference, and a
+  ``bit_identical`` flag (every compiled backend's output compared
+  bit-for-bit against the reference on the registry probes *and* on the
+  workload-scale timing inputs);
+* ``checks.kernel_outputs_match`` — the conjunction of the per-primitive
+  flags.  **CI gates on this flag, never on speedups**: bit-identity is
+  machine-independent, throughput is not (PR 5 convention).
+
+Timing inputs are derived deterministically from the workload spec
+(pinned seed), so everything but the wall-clock numbers is reproducible.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro import kernels
+from repro.bench.workloads import BenchWorkload
+from repro.kernels import registry as kernel_registry
+from repro.kernels.reference import OP_NAMES, REFERENCE_OPS, probe_inputs
+
+
+def primitive_inputs(workload: BenchWorkload) -> dict[str, tuple]:
+    """Workload-scale argument tuples per primitive, deterministically seeded.
+
+    Geometry follows the workload's LookHD configuration: ``q`` levels,
+    chunks of ``r`` over ``n`` features (→ ``m`` chunks, ``R = q^r``
+    table rows), dimensionality ``D``, ``k`` classes, and the workload's
+    test-set size as the batch.
+    """
+    rng = np.random.default_rng(workload.seed + 0xBEEF)
+    q = workload.levels
+    r = min(workload.chunk_size, workload.n_features)
+    n = workload.n_features
+    m = -(-n // r)
+    n_rows = q**r
+    dim = workload.dim
+    k = workload.n_classes
+    batch = workload.n_test
+
+    levels = rng.integers(0, q, size=(batch, n), dtype=np.int64)
+    addresses = rng.integers(0, n_rows, size=(batch, m), dtype=np.int64)
+    # Counter occupancy like real training: each class touches at most
+    # n_train addresses per chunk, so most cells stay zero at paper scale.
+    counts = np.zeros((m, n_rows), dtype=np.int64)
+    touched = rng.integers(0, n_rows, size=(m, max(1, min(n_rows, workload.n_train // 4))))
+    for chunk in range(m):
+        counts[chunk, touched[chunk]] = rng.integers(1, 50, size=touched.shape[1])
+    table = rng.choice([-1, 1], size=(n_rows, dim)).astype(np.int16)
+    positions = rng.choice([-1, 1], size=(m, dim)).astype(np.int64)
+    score_table = rng.standard_normal((m, n_rows, k))
+    words = rng.integers(0, 2**63, size=(batch, -(-dim // 64)), dtype=np.uint64)
+    queries = rng.standard_normal((batch, dim))
+    search = rng.standard_normal((k, dim))
+
+    return {
+        "chunk_addresses": (levels, q, r, m, 0),
+        "counter_observe": (addresses, m, n_rows),
+        "counter_materialize": (counts, table, positions),
+        "gather_accumulate": (score_table, addresses, np.float64),
+        "packed_popcount": (words,),
+        "compressed_score": (queries, search),
+    }
+
+
+def _time_call(fn, args: tuple, repeats: int) -> dict:
+    """Median-of-``repeats`` wall time after one warmup call."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    fn(*args)  # warmup (also charges any JIT compile to setup)
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        times.append(time.perf_counter() - start)
+    median = statistics.median(times)
+    return {
+        "seconds_median": median,
+        "seconds_best": min(times),
+        "repeats": repeats,
+    }
+
+
+def _bit_identical(op: str, fn, timing_args: tuple) -> bool:
+    """Backend output equals the reference on probes + the timing input."""
+    if kernel_registry.verify_candidate(op, fn) is not None:
+        return False
+    expected = np.asarray(REFERENCE_OPS[op](*timing_args))
+    try:
+        actual = np.asarray(fn(*timing_args))
+    except Exception:  # noqa: BLE001 - a crash is a mismatch, not an abort
+        return False
+    return (
+        actual.shape == expected.shape
+        and actual.dtype == expected.dtype
+        and bool(np.array_equal(actual, expected))
+    )
+
+
+def candidate_backends() -> tuple[str, ...]:
+    """Backend names to time: the reference plus every registered factory."""
+    return ("numpy",) + tuple(kernel_registry._BACKEND_FACTORIES)
+
+
+def build_kernels_block(workload: BenchWorkload, repeats: int = 3) -> dict:
+    """The ``kernels`` stanza for ``BENCH_inference.json``.
+
+    One entry per primitive; compiled backends that are unavailable (or
+    fail probe verification and are therefore unusable by the registry)
+    simply do not appear in that primitive's ``backends`` map.
+    """
+    inputs = primitive_inputs(workload)
+    primitives: dict[str, dict] = {}
+    all_match = True
+    for op in OP_NAMES:
+        timing_args = inputs[op]
+        backends: dict[str, dict] = {}
+        identical = True
+        for backend in candidate_backends():
+            fn = kernels.backend_impl(op, backend)
+            if fn is None:
+                continue
+            if backend != "numpy" and not _bit_identical(op, fn, timing_args):
+                identical = False
+                continue
+            backends[backend] = _time_call(fn, timing_args, repeats)
+        numpy_median = backends["numpy"]["seconds_median"]
+        best_backend = min(backends, key=lambda name: backends[name]["seconds_median"])
+        compiled = {name: s for name, s in backends.items() if name != "numpy"}
+        if compiled:
+            fastest_compiled = min(s["seconds_median"] for s in compiled.values())
+            speedup = numpy_median / max(fastest_compiled, 1e-12)
+        else:
+            speedup = 1.0
+        all_match = all_match and identical
+        primitives[op] = {
+            "backends": backends,
+            "best_backend": best_backend,
+            "speedup_vs_numpy": speedup,
+            "bit_identical": identical,
+        }
+    description = kernels.describe()
+    return {
+        "workload": workload.name,
+        "mode": description["mode"],
+        "numba_available": description["numba_available"],
+        "numba_version": description["numba_version"],
+        "active_backends": description["active"],
+        "demotions": description["demotions"],
+        "primitives": primitives,
+        "checks": {"kernel_outputs_match": all_match},
+    }

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.hdc.ops import BIPOLAR_DTYPE
 from repro.utils.validation import check_positive_int
 
@@ -75,19 +76,15 @@ def xor_bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return ~(np.asarray(a, dtype=np.uint64) ^ np.asarray(b, dtype=np.uint64))
 
 
-#: 256-entry byte-popcount LUT, built once at import (the fallback when the
-#: hardware popcount ufunc below is unavailable).
-_POPCOUNT_LUT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
-#: ``np.bitwise_count`` (NumPy ≥ 2) lowers to the POPCNT instruction.
-_BITWISE_COUNT = getattr(np, "bitwise_count", None)
-
-
 def _popcount(words: np.ndarray) -> np.ndarray:
-    """Per-row population count of ``(…, W)`` uint64 words."""
-    if _BITWISE_COUNT is not None:
-        return _BITWISE_COUNT(words).sum(axis=-1, dtype=np.int64)
-    as_bytes = np.ascontiguousarray(words).view(np.uint8)
-    return _POPCOUNT_LUT[as_bytes].sum(axis=-1, dtype=np.int64)
+    """Per-row population count of ``(…, W)`` uint64 words.
+
+    Routed through the kernel registry's ``packed_popcount`` primitive,
+    which owns the NumPy ≥ 2 ``np.bitwise_count`` feature check (one
+    check at import, in :mod:`repro.kernels.reference`) and the tested
+    256-entry byte-LUT fallback for older NumPy.
+    """
+    return kernels.packed_popcount(words)
 
 
 def hamming_matches(query: np.ndarray, keys: np.ndarray, dim: int) -> np.ndarray:

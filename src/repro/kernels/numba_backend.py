@@ -1,0 +1,215 @@
+"""Optional Numba backend for the kernel registry.
+
+Importable whether or not Numba is installed: :func:`available` reports
+the fact, and :func:`build_ops` returns ``{}`` when the dependency is
+missing, so the registry degrades to the NumPy reference without a hard
+dependency (install with ``pip install .[numba]``).
+
+Every kernel here is written to be **bit-identical** to its reference in
+:mod:`repro.kernels.reference`:
+
+* integer primitives (addressing, counters, popcount) are exact by
+  construction;
+* :func:`gather_accumulate` accumulates chunk-major per output element —
+  the same association order as the reference's ``out += table[c][a]``
+  loop, so even the float64 score variant matches bit for bit;
+* :func:`compressed_score` calls ``np.dot`` inside the jitted function,
+  which lowers to BLAS — the same GEMM the reference runs.  If this
+  process's Numba links a different BLAS that produces different bits,
+  the registry's probe verification catches it and demotes the op to the
+  reference (never silently serving different floats).
+
+All kernels use ``@njit(parallel=True, cache=True)`` (``cache=True`` so
+the compilation cost is paid once per machine, not once per process),
+except the GEMM wrapper, which BLAS already parallelises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the no-numba leg of CI covers this
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        raise RuntimeError("numba is not installed")
+
+    prange = range  # type: ignore[assignment]
+
+
+def available() -> bool:
+    """Whether the Numba toolchain is importable in this process."""
+    return NUMBA_AVAILABLE
+
+
+def numba_version() -> str | None:
+    """The installed Numba version, or ``None`` when unavailable."""
+    if not NUMBA_AVAILABLE:
+        return None
+    import numba
+
+    return numba.__version__
+
+
+def _build_jitted() -> dict:
+    """Compile-on-first-call jitted kernels (only reached when available)."""
+
+    @njit(parallel=True, cache=True)
+    def _chunk_addresses(levels, q, chunk_size, n_chunks, pad_level, out):
+        n_samples, n_features = levels.shape
+        for i in prange(n_samples):
+            for c in range(n_chunks):
+                address = np.int64(0)
+                base = c * chunk_size
+                for j in range(chunk_size):
+                    position = base + j
+                    if position < n_features:
+                        level = levels[i, position]
+                    else:
+                        level = pad_level
+                    address = address * q + level
+                out[i, c] = address
+
+    @njit(parallel=True, cache=True)
+    def _counter_observe(addresses, counts):
+        n_samples, n_chunks = addresses.shape
+        for c in prange(n_chunks):
+            for i in range(n_samples):
+                counts[c, addresses[i, c]] += 1
+
+    @njit(parallel=True, cache=True)
+    def _counter_materialize(counts, table, positions, out):
+        n_chunks, n_rows = counts.shape
+        dim = table.shape[1]
+        for d in prange(dim):
+            total = np.int64(0)
+            for c in range(n_chunks):
+                chunk_sum = np.int64(0)
+                for a in range(n_rows):
+                    weight = counts[c, a]
+                    if weight != 0:
+                        chunk_sum += weight * table[a, d]
+                total += chunk_sum * positions[c, d]
+            out[d] = total
+
+    @njit(parallel=True, cache=True)
+    def _gather_accumulate(table, addresses, out):
+        n_samples, n_chunks = addresses.shape
+        width = table.shape[2]
+        for i in prange(n_samples):
+            for c in range(n_chunks):
+                row = table[c, addresses[i, c]]
+                for k in range(width):
+                    out[i, k] += row[k]
+
+    @njit(parallel=True, cache=True)
+    def _packed_popcount(words, out):
+        n_rows, n_words = words.shape
+        m1 = np.uint64(0x5555555555555555)
+        m2 = np.uint64(0x3333333333333333)
+        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = np.uint64(0x0101010101010101)
+        one = np.uint64(1)
+        two = np.uint64(2)
+        four = np.uint64(4)
+        fifty_six = np.uint64(56)
+        for i in prange(n_rows):
+            total = np.int64(0)
+            for w in range(n_words):
+                x = words[i, w]
+                x = x - ((x >> one) & m1)
+                x = (x & m2) + ((x >> two) & m2)
+                x = (x + (x >> four)) & m4
+                total += np.int64((x * h01) >> fifty_six)
+            out[i] = total
+
+    @njit(cache=True)
+    def _compressed_score(queries, search_t):
+        return np.dot(queries, search_t)
+
+    return {
+        "chunk_addresses": _chunk_addresses,
+        "counter_observe": _counter_observe,
+        "counter_materialize": _counter_materialize,
+        "gather_accumulate": _gather_accumulate,
+        "packed_popcount": _packed_popcount,
+        "compressed_score": _compressed_score,
+    }
+
+
+def build_ops() -> dict:
+    """Reference-signature wrappers around the jitted kernels.
+
+    Returns ``{}`` when Numba is missing.  Each wrapper normalises input
+    layout (contiguity, dtypes) and allocates the output so the jitted
+    function only ever sees the types it was designed for — keeping the
+    compiled-signature count (and compile time) small.
+    """
+    if not NUMBA_AVAILABLE:
+        return {}
+    jitted = _build_jitted()
+
+    def chunk_addresses(levels, q, chunk_size, n_chunks, pad_level=0):
+        levels = np.ascontiguousarray(np.asarray(levels), dtype=np.int64)
+        out = np.empty((levels.shape[0], n_chunks), dtype=np.int64)
+        jitted["chunk_addresses"](
+            levels, np.int64(q), np.int64(chunk_size), np.int64(n_chunks),
+            np.int64(pad_level), out,
+        )
+        return out
+
+    def counter_observe(addresses, n_chunks, n_rows):
+        addresses = np.ascontiguousarray(np.asarray(addresses), dtype=np.int64)
+        counts = np.zeros((n_chunks, n_rows), dtype=np.int64)
+        if addresses.shape[0]:
+            jitted["counter_observe"](addresses, counts)
+        return counts
+
+    def counter_materialize(counts, table, positions):
+        counts = np.ascontiguousarray(np.asarray(counts), dtype=np.int64)
+        table = np.ascontiguousarray(np.asarray(table), dtype=np.int64)
+        positions = np.ascontiguousarray(np.asarray(positions), dtype=np.int64)
+        out = np.empty(table.shape[1], dtype=np.int64)
+        jitted["counter_materialize"](counts, table, positions, out)
+        return out
+
+    def gather_accumulate(table, addresses, out_dtype=np.float64):
+        addresses = np.ascontiguousarray(np.asarray(addresses), dtype=np.int64)
+        out_dtype = np.dtype(out_dtype)
+        # Gather in the accumulator dtype: int8/int16 tables are widened
+        # once here rather than per-element inside the kernel, keeping
+        # one compiled signature per accumulator dtype.
+        table = np.ascontiguousarray(np.asarray(table), dtype=out_dtype)
+        out = np.zeros((addresses.shape[0], table.shape[2]), dtype=out_dtype)
+        if addresses.shape[0]:
+            jitted["gather_accumulate"](table, addresses, out)
+        return out
+
+    def packed_popcount(words):
+        words = np.asarray(words, dtype=np.uint64)
+        lead_shape = words.shape[:-1]
+        flat = np.ascontiguousarray(words.reshape(-1, words.shape[-1]))
+        out = np.empty(flat.shape[0], dtype=np.int64)
+        if flat.shape[0]:
+            jitted["packed_popcount"](flat, out)
+        return out.reshape(lead_shape)
+
+    def compressed_score(queries, search_matrix):
+        queries = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+        search_t = np.ascontiguousarray(
+            np.asarray(search_matrix, dtype=np.float64).T
+        )
+        return jitted["compressed_score"](queries, search_t)
+
+    return {
+        "chunk_addresses": chunk_addresses,
+        "counter_observe": counter_observe,
+        "counter_materialize": counter_materialize,
+        "gather_accumulate": gather_accumulate,
+        "packed_popcount": packed_popcount,
+        "compressed_score": compressed_score,
+    }

@@ -271,13 +271,24 @@ class LookHDClassifier:
             self._fused_engine = engine
         return engine
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(
+        self,
+        features: np.ndarray,
+        approx: float | None = None,
+        approx_margin: float = 0.0,
+    ) -> np.ndarray:
         """Classify raw feature vectors (compressed search when enabled).
 
         Served from the fused lookup-domain score table when
         ``config.fused_inference`` is on and the table fits its budget;
         otherwise encodes in memory-bounded batches and searches in the
         hypervector domain.  Both paths agree on every prediction.
+
+        ``approx`` opts into SHEARer-style partial-chunk scoring on the
+        fused path (see
+        :meth:`repro.lookhd.inference.FusedInferenceEngine.scores_addresses`);
+        it only takes effect when the fused engine is serving — the
+        hypervector-domain fallback always predicts exactly.
 
         Inputs are validated the same on both paths: a query containing
         NaN/inf raises ``ValueError`` instead of quantizing to garbage.
@@ -294,7 +305,9 @@ class LookHDClassifier:
         if self.config.fused_inference:
             engine = self.fused_engine()
             if engine.enabled:
-                predictions = engine.predict(batch)
+                predictions = engine.predict(
+                    batch, approx=approx, approx_margin=approx_margin
+                )
                 return predictions[0] if single else predictions
             engine.note_fallback()
         predictions = model.predict(self.encoder.encode_many(batch))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.utils.validation import check_positive_int
 
 
@@ -127,13 +127,10 @@ class ChunkCounters:
             )
         if addresses.size and (addresses.min() < 0 or addresses.max() >= self.n_rows):
             raise ValueError(f"addresses must be in [0, {self.n_rows})")
-        # One bincount over (chunk, address) pairs flattened to
-        # chunk * n_rows + address — the whole batch in a single C pass.
-        offsets = np.arange(self.n_chunks, dtype=np.int64) * self.n_rows
-        flat = (addresses.astype(np.int64) + offsets[np.newaxis, :]).ravel()
-        batch_counts = np.bincount(
-            flat, minlength=self.n_chunks * self.n_rows
-        ).reshape(self.n_chunks, self.n_rows)
+        # The registry's counter_observe primitive: the whole batch is
+        # histogrammed in one pass (bincount on the reference backend, a
+        # parallel per-chunk loop on the compiled one — exact either way).
+        batch_counts = kernels.counter_observe(addresses, self.n_chunks, self.n_rows)
         self._ensure_headroom(int(batch_counts.max(initial=0)), "observe")
         self.counts += batch_counts.astype(self.counts.dtype, copy=False)
         self.n_samples += addresses.shape[0]
@@ -159,21 +156,12 @@ class ChunkCounters:
             raise ValueError("table row count mismatch")
         if positions.shape != (self.n_chunks, table.shape[1]):
             raise ValueError("positions shape mismatch")
-        table64 = table.astype(np.int64)
-        counts64 = self.counts.astype(np.int64, copy=False)
-        nonzero_fraction = np.count_nonzero(counts64) / counts64.size
-        if nonzero_fraction < 0.25:
-            # A class typically touches far fewer than q^r addresses per
-            # chunk (at most one per training sample), so skip zero rows —
-            # the factorisation that makes counter training cheap.
-            chunk_sums = np.empty((self.n_chunks, table.shape[1]), dtype=np.int64)
-            for chunk in range(self.n_chunks):
-                rows = np.flatnonzero(counts64[chunk])
-                chunk_sums[chunk] = counts64[chunk, rows] @ table64[rows]
-        else:
-            # (m, q^r) @ (q^r, D) -> (m, D): dense counter-table product.
-            chunk_sums = counts64 @ table64
-        return (chunk_sums * positions.astype(np.int64)).sum(axis=0)
+        # The registry's counter_materialize primitive — all int64, so any
+        # backend's evaluation order is exact; the reference skips zero
+        # counter rows when occupancy is low (a class typically touches
+        # far fewer than q^r addresses per chunk), the factorisation that
+        # makes counter training cheap.
+        return kernels.counter_materialize(self.counts, table, positions)
 
     def merge(self, other: "ChunkCounters") -> None:
         """Fold another counter set into this one (distributed training).

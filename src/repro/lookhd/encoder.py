@@ -30,13 +30,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.hdc.item_memory import RandomItemMemory
 from repro.hdc.ops import ACCUM_DTYPE
 from repro.lookhd.chunking import ChunkLayout
 from repro.lookhd.lookup_table import ChunkLookupTable
 from repro.quantization.base import Quantizer
-from repro.quantization.codebook import chunk_addresses
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_2d
 
@@ -92,6 +91,7 @@ class LookupEncoder:
             layout.n_chunks, self.dim, rng=derive_rng(seed, "positions")
         )
         self._prebound = _UNSET
+        self._prebound_backend_version = kernels.backend_version()
 
     @property
     def n_features(self) -> int:
@@ -109,6 +109,7 @@ class LookupEncoder:
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._prebound = _UNSET
+        self._prebound_backend_version = kernels.backend_version()
 
     def addresses(self, features: np.ndarray) -> np.ndarray:
         """Quantize and form chunk addresses: ``(N, n)`` floats → ``(N, m)`` ints."""
@@ -118,8 +119,7 @@ class LookupEncoder:
                 f"expected {self.layout.n_features} features, got {batch.shape[1]}"
             )
         levels = self.quantizer.transform(batch)
-        chunks = self.layout.split_levels(levels)  # (N, m, r)
-        return chunk_addresses(chunks, self.quantizer.levels)
+        return self.layout.addresses(levels, self.quantizer.levels)
 
     # -- pre-bound table -------------------------------------------------------
 
@@ -138,7 +138,15 @@ class LookupEncoder:
 
         Built lazily on first access; ``(m, q^r, D)`` in the lookup table's
         dtype.  Position binding is a ±1 multiply, so the dtype never widens.
+
+        The cache is keyed to the kernel registry's backend version: a
+        :func:`repro.kernels.set_backend` switch drops it, so a backend
+        swap can never serve state built under the previous backend (the
+        same version-counter idiom as the model/codebook caches).
         """
+        if self._prebound_backend_version != kernels.backend_version():
+            self._prebound = _UNSET
+            self._prebound_backend_version = kernels.backend_version()
         if self._prebound is _UNSET:
             if (
                 not self.bind_positions
@@ -170,15 +178,16 @@ class LookupEncoder:
         intermediate is ``(N, D)``, never ``(N, m, D)``.
         """
         addresses = np.asarray(addresses)
-        encoded = np.zeros((addresses.shape[0], self.dim), dtype=ACCUM_DTYPE)
         prebound = self.prebound_table
         if prebound is not None:
-            for chunk in range(self.layout.n_chunks):
-                encoded += prebound[chunk][addresses[:, chunk]]
+            # The registry's gather_accumulate primitive: gather + sum per
+            # chunk position, accumulated directly in ACCUM_DTYPE.
+            encoded = kernels.gather_accumulate(prebound, addresses, ACCUM_DTYPE)
             telemetry.count("encoder.encode.batches", path="prebound")
             telemetry.count("encoder.encode.samples", encoded.shape[0])
             telemetry.count("encoder.encode.bytes", encoded.nbytes)
             return encoded
+        encoded = np.zeros((addresses.shape[0], self.dim), dtype=ACCUM_DTYPE)
         table = self.lookup_table.table
         positions = self.position_memory.vectors
         for chunk in range(self.layout.n_chunks):

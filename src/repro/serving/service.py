@@ -49,7 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import telemetry
+from repro import kernels, telemetry
 from repro.utils.validation import check_positive_int
 
 #: Flush-reason labels (also the ``reason`` label on the
@@ -441,4 +441,7 @@ class InferenceService:
             "failed": self.failed,
             "dropped": self.admitted - self.completed - self.failed,
             "batches": self.batches,
+            # Deployment introspection: which backend serves each kernel
+            # primitive in this process (the compiled-path liveness check).
+            "kernel_backends": kernels.active_backends(),
         }

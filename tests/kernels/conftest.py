@@ -1,0 +1,20 @@
+"""Registry-state isolation: every test leaves the process-wide kernel
+registry exactly as it found it (mode, factories, resolutions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import registry
+
+
+@pytest.fixture(autouse=True)
+def restore_registry():
+    mode = registry.current_mode()
+    factories = dict(registry._BACKEND_FACTORIES)
+    yield
+    registry._BACKEND_FACTORIES.clear()
+    registry._BACKEND_FACTORIES.update(factories)
+    # set_backend resets all resolution/demotion state (and bumps the
+    # version counter, which is fine — it is monotonic by contract).
+    registry.set_backend(mode)

@@ -1,0 +1,129 @@
+"""Opt-in approximate scoring (SHEARer-style partial-chunk early exit).
+
+Approximate mode is deliberately *excluded* from the bit-identity gates —
+these tests pin down the contract instead: exact by default, exact at
+``approx=1.0``, margin-refined rows bit-exact, an accuracy floor at the
+documented operating point, and hard validation of the knob itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+
+#: Documented accuracy floor for the sweep's mid operating point
+#: (``approx=0.5`` with no refinement): within 5 points of exact.
+ACCURACY_FLOOR = 0.05
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = SyntheticSpec(
+        n_features=40,
+        n_classes=8,
+        n_train=400,
+        n_test=200,
+        class_separation=2.5,
+        seed=23,
+    )
+    return make_synthetic_classification(spec, name="approx")
+
+
+@pytest.fixture(scope="module")
+def clf(dataset):
+    model = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=9))
+    model.fit(dataset.train_features, dataset.train_labels)
+    assert model.fused_engine().enabled
+    return model
+
+
+class TestApproxContract:
+    def test_default_is_exact(self, clf, dataset):
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features)
+        exact = engine.scores_addresses(addresses)
+        again = engine.scores_addresses(addresses, approx=None)
+        assert np.array_equal(exact, again)
+
+    def test_approx_one_is_bit_identical_to_exact(self, clf, dataset):
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features)
+        exact = engine.scores_addresses(addresses)
+        assert np.array_equal(engine.scores_addresses(addresses, approx=1.0), exact)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, np.nan])
+    def test_invalid_fraction_rejected(self, clf, dataset, bad):
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features[:4])
+        with pytest.raises(ValueError, match="approx"):
+            engine.scores_addresses(addresses, approx=bad)
+
+    def test_partial_scores_equal_prefix_gather(self, clf, dataset):
+        """approx=f scores exactly the first ceil(f·m) chunks, no more."""
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features)
+        table = engine.score_table
+        m = addresses.shape[1]
+        for fraction in (0.25, 0.5, 0.75):
+            k0 = max(1, int(np.ceil(fraction * m)))
+            expected = np.zeros((addresses.shape[0], table.shape[2]))
+            for chunk in range(k0):
+                expected += table[chunk][addresses[:, chunk]]
+            actual = engine.scores_addresses(addresses, approx=fraction)
+            assert np.array_equal(actual, expected), fraction
+
+    def test_huge_margin_refines_everything_to_exact_bits(self, clf, dataset):
+        """With a margin no row can clear, every row is refined — and the
+        chunk-major accumulation order makes the result bit-identical to
+        full scoring, not merely close."""
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features)
+        exact = engine.scores_addresses(addresses)
+        refined = engine.scores_addresses(addresses, approx=0.25, approx_margin=np.inf)
+        assert np.array_equal(refined, exact)
+
+    def test_zero_margin_disables_refinement(self, clf, dataset):
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features)
+        with telemetry.enabled() as metrics:
+            engine.scores_addresses(addresses, approx=0.5, approx_margin=0.0)
+        counters = metrics.snapshot()["counters"]
+        assert counters["inference.approx.queries"] == addresses.shape[0]
+        assert counters["inference.approx.refined"] == 0
+
+    def test_margin_refines_only_uncertain_rows(self, clf, dataset):
+        engine = clf.fused_engine()
+        addresses = clf.encoder.addresses(dataset.test_features)
+        with telemetry.enabled() as metrics:
+            engine.scores_addresses(addresses, approx=0.5, approx_margin=1.0)
+        counters = metrics.snapshot()["counters"]
+        refined = counters["inference.approx.refined"]
+        assert 0 <= refined <= addresses.shape[0]
+
+    def test_accuracy_floor_at_operating_point(self, clf, dataset):
+        """The documented operating point (EXPERIMENTS.md): approx=0.5
+        with a small early-exit margin stays within ACCURACY_FLOOR of
+        exact accuracy while genuinely skipping work on confident rows."""
+        exact = clf.predict(dataset.test_features)
+        with telemetry.enabled() as metrics:
+            approx = clf.predict(dataset.test_features, approx=0.5, approx_margin=5.0)
+        labels = dataset.test_labels
+        exact_accuracy = float(np.mean(exact == labels))
+        approx_accuracy = float(np.mean(approx == labels))
+        assert approx_accuracy >= exact_accuracy - ACCURACY_FLOOR
+        counters = metrics.snapshot()["counters"]
+        # The early exit must actually fire: some rows skipped refinement.
+        assert counters["inference.approx.refined"] < counters["inference.approx.queries"]
+
+    def test_margin_recovers_exact_predictions(self, clf, dataset):
+        exact = clf.predict(dataset.test_features)
+        recovered = clf.predict(dataset.test_features, approx=0.25, approx_margin=np.inf)
+        assert np.array_equal(recovered, exact)
+
+    def test_classifier_predict_passthrough_shapes(self, clf, dataset):
+        single = clf.predict(dataset.test_features[0], approx=0.5)
+        assert np.isscalar(single) or np.asarray(single).ndim == 0
+        batch = clf.predict(dataset.test_features[:7], approx=0.5)
+        assert np.asarray(batch).shape == (7,)

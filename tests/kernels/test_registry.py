@@ -1,0 +1,225 @@
+"""Behavioural suite for the kernel backend registry.
+
+Covers mode selection (env var + ``set_backend``), the verify-and-demote
+safety net (a compiled backend that does not reproduce the reference bit
+for bit must never serve), the ``backend_version`` invalidation counter,
+and the introspection surface (``active_backends`` / ``demotions`` /
+``describe``).  Fake backend factories stand in for Numba so the demotion
+machinery is exercised even where Numba is not installed.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import kernels, telemetry
+from repro.kernels import KernelBackendWarning, registry
+from repro.kernels import numba_backend
+from repro.kernels.reference import OP_NAMES, REFERENCE_OPS, probe_inputs
+
+
+def _reference_like_ops():
+    """A complete fake backend that is bit-identical to the reference."""
+    return {op: REFERENCE_OPS[op] for op in OP_NAMES}
+
+
+def _install_fake(ops_factory, name="fake"):
+    """Register a fake factory as the *only* compiled backend.
+
+    ``auto`` mode tries factories in registration order, so a real Numba
+    install would otherwise win before the fake is ever consulted; the
+    conftest fixture restores the factory table after each test.
+    """
+    registry._BACKEND_FACTORIES.pop("numba", None)
+    registry.register_backend_factory(name, ops_factory)
+
+
+def _wrong_chunk_addresses(levels, q, chunk_size, n_chunks, pad_level=0):
+    return REFERENCE_OPS["chunk_addresses"](levels, q, chunk_size, n_chunks, pad_level) + 1
+
+
+class TestModeSelection:
+    def test_env_var_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(registry.BACKEND_ENV_VAR, raising=False)
+        assert registry._read_env_mode() == "auto"
+
+    @pytest.mark.parametrize("mode", ["auto", "numpy", "numba"])
+    def test_env_var_valid_modes(self, monkeypatch, mode):
+        monkeypatch.setenv(registry.BACKEND_ENV_VAR, mode)
+        assert registry._read_env_mode() == mode
+
+    def test_env_var_is_normalised(self, monkeypatch):
+        monkeypatch.setenv(registry.BACKEND_ENV_VAR, "  NumPy \n")
+        assert registry._read_env_mode() == "numpy"
+
+    def test_env_var_invalid_warns_and_uses_auto(self, monkeypatch):
+        monkeypatch.setenv(registry.BACKEND_ENV_VAR, "cuda")
+        with pytest.warns(KernelBackendWarning, match="cuda"):
+            assert registry._read_env_mode() == "auto"
+
+    def test_set_backend_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="backend mode"):
+            kernels.set_backend("fortran")
+
+    def test_set_backend_bumps_version(self):
+        before = kernels.backend_version()
+        kernels.set_backend("numpy")
+        assert kernels.backend_version() == before + 1
+        kernels.set_backend("auto")
+        assert kernels.backend_version() == before + 2
+
+    def test_numpy_mode_pins_reference_everywhere(self):
+        registry.register_backend_factory("fake", _reference_like_ops)
+        kernels.set_backend("numpy")
+        assert set(kernels.active_backends().values()) == {"numpy"}
+
+    def test_register_factory_cannot_shadow_numpy(self):
+        with pytest.raises(ValueError, match="reference"):
+            registry.register_backend_factory("numpy", _reference_like_ops)
+
+
+class TestVerifyAndDemote:
+    def test_verified_fake_backend_serves(self):
+        _install_fake(_reference_like_ops)
+        kernels.set_backend("auto")
+        active = kernels.active_backends()
+        assert set(active.values()) == {"fake"}
+        levels = np.array([[0, 1, 2, 3]], dtype=np.int64)
+        expected = REFERENCE_OPS["chunk_addresses"](levels, 4, 2, 2, 0)
+        assert np.array_equal(kernels.chunk_addresses(levels, 4, 2, 2), expected)
+
+    def test_wrong_output_demotes_with_warning(self):
+        ops = _reference_like_ops()
+        ops["chunk_addresses"] = _wrong_chunk_addresses
+        _install_fake(lambda: ops)
+        kernels.set_backend("auto")
+        levels = np.array([[1, 0, 3, 2]], dtype=np.int64)
+        with pytest.warns(KernelBackendWarning, match="demoted to numpy"):
+            result = kernels.chunk_addresses(levels, 4, 2, 2)
+        # The demoted op serves reference bits; untouched ops keep the fake.
+        assert np.array_equal(result, REFERENCE_OPS["chunk_addresses"](levels, 4, 2, 2, 0))
+        active = kernels.active_backends()
+        assert active["chunk_addresses"] == "numpy"
+        assert active["counter_observe"] == "fake"
+        assert "chunk_addresses" in kernels.demotions()
+        assert "fake" in kernels.demotions()["chunk_addresses"]
+
+    def test_raising_kernel_demotes(self):
+        ops = _reference_like_ops()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("llvm exploded")
+
+        ops["counter_observe"] = boom
+        _install_fake(lambda: ops)
+        kernels.set_backend("auto")
+        addresses = np.array([[0, 1], [1, 1]], dtype=np.int64)
+        with pytest.warns(KernelBackendWarning, match="RuntimeError"):
+            counts = kernels.counter_observe(addresses, 2, 4)
+        assert np.array_equal(counts, REFERENCE_OPS["counter_observe"](addresses, 2, 4))
+
+    def test_broken_factory_falls_back_to_numpy(self):
+        def broken_factory():
+            raise ImportError("no such backend")
+
+        _install_fake(broken_factory)
+        kernels.set_backend("auto")
+        with pytest.warns(KernelBackendWarning, match="failed to initialise"):
+            active = kernels.active_backends()
+        assert set(active.values()) == {"numpy"}
+
+    def test_wrong_dtype_is_a_mismatch(self):
+        ops = _reference_like_ops()
+        ops["packed_popcount"] = lambda words: REFERENCE_OPS["packed_popcount"](
+            words
+        ).astype(np.int32)
+        _install_fake(lambda: ops)
+        kernels.set_backend("auto")
+        with pytest.warns(KernelBackendWarning):
+            kernels.packed_popcount(np.array([3], dtype=np.uint64))
+        assert kernels.active_backends()["packed_popcount"] == "numpy"
+
+    def test_demotion_emits_telemetry_counter(self):
+        ops = _reference_like_ops()
+        ops["chunk_addresses"] = _wrong_chunk_addresses
+        _install_fake(lambda: ops)
+        kernels.set_backend("auto")
+        with telemetry.enabled() as metrics, warnings.catch_warnings():
+            warnings.simplefilter("ignore", KernelBackendWarning)
+            kernels.chunk_addresses(np.array([[0, 1]], dtype=np.int64), 2, 1, 2)
+        counters = metrics.snapshot()["counters"]
+        assert counters["kernels.demoted{backend=fake,primitive=chunk_addresses}"] == 1
+
+
+class TestDispatch:
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel op"):
+            registry.dispatch("matmul", np.eye(2))
+
+    def test_dispatch_counts_per_primitive_and_backend(self):
+        kernels.set_backend("numpy")
+        with telemetry.enabled() as metrics:
+            kernels.packed_popcount(np.array([7, 8], dtype=np.uint64))
+            kernels.packed_popcount(np.array([1], dtype=np.uint64))
+        counters = metrics.snapshot()["counters"]
+        assert counters["kernels.dispatch{backend=numpy,primitive=packed_popcount}"] == 2
+
+    def test_explicit_numba_mode_without_numba_warns_and_serves_numpy(self):
+        if numba_backend.available():
+            pytest.skip("numba installed: the explicit mode resolves to it")
+        kernels.set_backend("numba")
+        with pytest.warns(KernelBackendWarning, match="does not provide"):
+            active = kernels.active_backends()
+        assert set(active.values()) == {"numpy"}
+
+    def test_explicit_numba_mode_with_numba_serves_numba(self):
+        if not numba_backend.available():
+            pytest.skip("numba not installed")
+        kernels.set_backend("numba")
+        assert set(kernels.active_backends().values()) == {"numba"}
+
+
+class TestIntrospection:
+    def test_backend_impl_numpy_is_reference(self):
+        for op in OP_NAMES:
+            assert kernels.backend_impl(op, "numpy") is REFERENCE_OPS[op]
+
+    def test_backend_impl_unknown_backend_is_none(self):
+        assert kernels.backend_impl("chunk_addresses", "tpu") is None
+
+    def test_backend_impl_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            kernels.backend_impl("matmul", "numpy")
+
+    def test_backend_impl_refuses_unverified_kernel(self):
+        ops = _reference_like_ops()
+        ops["chunk_addresses"] = _wrong_chunk_addresses
+        _install_fake(lambda: ops)
+        assert kernels.backend_impl("chunk_addresses", "fake") is None
+        assert kernels.backend_impl("counter_observe", "fake") is not None
+
+    def test_verify_candidate_accepts_reference(self):
+        for op in OP_NAMES:
+            assert kernels.verify_candidate(op, REFERENCE_OPS[op]) is None
+
+    def test_verify_candidate_reports_mismatch(self):
+        reason = kernels.verify_candidate("chunk_addresses", _wrong_chunk_addresses)
+        assert reason is not None and "differs" in reason
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        kernels.set_backend("auto")
+        description = kernels.describe()
+        json.dumps(description)
+        assert description["mode"] == "auto"
+        assert isinstance(description["numba_available"], bool)
+        assert set(description["active"]) == set(OP_NAMES)
+
+    def test_probe_inputs_cover_every_op(self):
+        for op in OP_NAMES:
+            probes = probe_inputs(op)
+            assert probes, f"{op} has no verification probes"
+        with pytest.raises(ValueError):
+            probe_inputs("matmul")

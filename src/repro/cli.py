@@ -186,6 +186,14 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.resilience import write_resilience_file
+
+    path = write_resilience_file(profile=args.profile, out_dir=args.out_dir)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from repro.telemetry.stats import (
         StatsWorkload,
@@ -218,6 +226,7 @@ def _cmd_stats(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import signal
 
     from repro.serving import InferenceService, MicrobatchConfig, ServingServer
 
@@ -239,25 +248,53 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.max_queue_depth,
+        deadline_ms=args.deadline_ms,
         dispatch=args.dispatch,
     )
 
     async def _run() -> None:
+        scrubber = None
+        if args.scrub_interval > 0:
+            from repro.resilience import IntegrityGuard, Scrubber
+
+            scrubber = Scrubber(IntegrityGuard(clf))
         server = ServingServer(
-            InferenceService(clf, config), host=args.host, port=args.port
+            InferenceService(clf, config),
+            host=args.host,
+            port=args.port,
+            scrubber=scrubber,
+            scrub_interval=args.scrub_interval if scrubber is not None else 0.25,
         )
         await server.start()
         # flush: the banner must reach a supervising process (pipe-buffered
         # stdout would otherwise hold it until the buffer fills).
         print(
             f"serving on {server.host}:{server.port} "
-            "(one JSON request per line; Ctrl-C to stop)",
+            "(one JSON request per line; Ctrl-C or SIGTERM to drain and stop)",
             flush=True,
         )
+        # Graceful shutdown: SIGTERM/SIGINT stop *accepting* and then drain
+        # every admitted request before exit, so a supervisor's restart never
+        # strands in-flight work.  Falls back to KeyboardInterrupt where the
+        # loop has no signal-handler support.
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                pass
         try:
-            await server.serve_forever()
+            await shutdown.wait()
+            print("shutdown signal received; draining...", flush=True)
         finally:
             await server.stop()
+            stats = server.service.request_stats()
+            print(
+                f"drained: {stats['completed']} completed, "
+                f"{stats['dropped']} dropped",
+                flush=True,
+            )
 
     try:
         asyncio.run(_run())
@@ -413,6 +450,22 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--out-dir", default=".", help="directory for BENCH_faults.json")
     faults.set_defaults(func=_cmd_faults)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject live faults mid-traffic, gate detection/repair, "
+        "write BENCH_resilience.json",
+    )
+    chaos.add_argument(
+        "--profile",
+        default="full",
+        choices=["full", "smoke"],
+        help="'full' is the resilience gate, 'smoke' a CI-sized run",
+    )
+    chaos.add_argument(
+        "--out-dir", default=".", help="directory for BENCH_resilience.json"
+    )
+    chaos.set_defaults(func=_cmd_chaos)
+
     stats = sub.add_parser(
         "stats",
         help="run an instrumented workload and write a telemetry snapshot",
@@ -472,6 +525,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8752, help="0 binds an ephemeral port")
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline; expired requests fail typed, pre-model",
+    )
+    serve.add_argument(
+        "--scrub-interval",
+        type=float,
+        default=0.25,
+        help="seconds between idle integrity-scrub ticks (0 disables scrubbing)",
+    )
     add_microbatch_args(serve)
     serve.set_defaults(func=_cmd_serve)
 

@@ -39,9 +39,11 @@ from repro.faults.sweep import (
 )
 from repro.faults.targets import (
     DEFAULT_TARGETS,
+    LIVE_TARGETS,
     FaultReport,
     FaultSpec,
     inject_classifier_faults,
+    inject_live_fault,
 )
 
 __all__ = [
@@ -50,6 +52,7 @@ __all__ = [
     "FAULTS_SCHEMA_VERSION",
     "FaultReport",
     "FaultSpec",
+    "LIVE_TARGETS",
     "MODEL_VARIANTS",
     "SweepConfig",
     "flip_fixed_point_bits",
@@ -58,6 +61,7 @@ __all__ = [
     "flip_sign_bits",
     "gaussian_feature_noise",
     "inject_classifier_faults",
+    "inject_live_fault",
     "required_width",
     "run_ber_sweep",
     "saturate_features",

@@ -44,6 +44,12 @@ from repro.utils.validation import check_in_range, check_positive_int
 #: Every memory the sweep faults by default — all the BRAMs of Sec. V-A.
 DEFAULT_TARGETS = ("lookup_table", "positions", "class_vectors", "compressed", "keys")
 
+#: Memories :func:`inject_live_fault` can corrupt *in place* on a serving
+#: classifier.  The derived caches ("score_table", "prebound_table") model
+#: bit rot in state the version counters cannot see; the authoritative
+#: entries model damage the integrity guard must repair or degrade around.
+LIVE_TARGETS = ("score_table", "prebound_table", "class_vectors", "compressed")
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -165,6 +171,66 @@ def inject_classifier_faults(
 
     _invalidate_caches(faulted)
     return faulted, report
+
+
+def inject_live_fault(
+    clf: LookHDClassifier, target: str, ber: float = 1e-4, seed: int = 0
+) -> dict:
+    """Corrupt one memory of a *live* classifier, in place, silently.
+
+    Unlike :func:`inject_classifier_faults` this mutates ``clf`` itself and
+    deliberately does **not** invalidate caches or bump version counters —
+    it models a radiation/voltage bit flip landing in serving state, the
+    exact condition the integrity scrubber (:mod:`repro.resilience`) exists
+    to detect.  Sign-flip corruption is used uniformly: negating a stored
+    element is the in-memory effect of flipping its sign bit, and it works
+    for every dtype involved without rewriting untouched elements.
+
+    At least one element is always corrupted (a ``ber`` too small to hit
+    anything would make a chaos run vacuously pass), and the fault pattern
+    is deterministic in ``seed``.
+
+    Returns ``{"target", "elements_flipped", "forced"}``.
+    """
+    check_in_range(ber, "ber", 0.0, 1.0)
+    if clf.encoder is None or clf.class_model is None:
+        raise RuntimeError("classifier must be fitted before injecting faults")
+    if target == "score_table":
+        engine = clf.fused_engine()
+        array = engine.score_table  # force materialisation
+        if array is None:
+            raise ValueError(
+                "score_table is not materialised (fused path over budget); "
+                "pick an authoritative live target instead"
+            )
+    elif target == "prebound_table":
+        array = clf.encoder.prebound_table  # force materialisation
+        if array is None:
+            raise ValueError(
+                "prebound_table is not materialised (over budget or unbound "
+                "positions); pick another live target"
+            )
+    elif target == "class_vectors":
+        array = clf.class_model.class_vectors
+    elif target == "compressed":
+        if clf.compressed_model is None:
+            raise ValueError("classifier has no compressed model to fault")
+        array = clf.compressed_model.compressed
+    else:
+        raise ValueError(f"unknown live fault target {target!r}; choose from {LIVE_TARGETS}")
+
+    rng = derive_rng(seed, f"live-fault-{target}")
+    corrupted = flip_sign_bits(array, ber, rng=rng)
+    flipped = int(np.count_nonzero(corrupted != array))
+    forced = flipped == 0
+    array[...] = corrupted
+    if forced:
+        flat = array.reshape(-1)
+        index = int(rng.integers(flat.size))
+        value = flat[index]
+        flat[index] = -value if value != 0 else flat.dtype.type(1)
+        flipped = 1
+    return {"target": target, "elements_flipped": flipped, "forced": forced}
 
 
 def exposed_bits(clf: LookHDClassifier, spec: FaultSpec) -> int:

@@ -115,6 +115,13 @@ class LookHDClassifier:
         self.compressed_model: CompressedModel | None = None
         self.n_classes: int | None = None
         self._fused_engine: FusedInferenceEngine | None = None
+        #: Degrade switch: when ``True``, ``predict`` skips the fused
+        #: score-table path and serves from the hypervector domain even
+        #: though ``config.fused_inference`` is on.  Set by the integrity
+        #: layer (:mod:`repro.resilience`) when authoritative state is
+        #: damaged beyond repair — correctness of the fused caches can no
+        #: longer be certified, so the service routes around them.
+        self.serve_reference = False
 
     # -- training ------------------------------------------------------------
 
@@ -242,6 +249,38 @@ class LookHDClassifier:
                 break
         return trace
 
+    def rebuild_from_counters(self) -> None:
+        """Regenerate the class and compressed models from the counters.
+
+        The counters are the authoritative training record: materialising
+        them reproduces the as-fit class model bit-for-bit, and the
+        compressed model's keys re-derive from ``config.seed``, so the
+        whole model family comes back identical to the original ``fit``
+        (before any ``retrain_iterations`` — perceptron updates live in
+        the models, not the counters, and are lost).  This is the
+        integrity layer's repair path for corrupted model state
+        (:mod:`repro.resilience`); it also drops the fused engine so no
+        score table derived from the damaged model survives.
+        """
+        if self.trainer is None or not getattr(self.trainer, "counters", None):
+            raise RuntimeError(
+                "rebuild_from_counters requires the training counters; this "
+                "classifier was restored without them (e.g. from a persisted "
+                "artifact) — restore from a clean artifact or refit instead"
+            )
+        cfg = self.config
+        self.class_model = self.trainer.build_model()
+        if cfg.compress:
+            self.compressed_model = CompressedModel(
+                self.class_model,
+                group_size=cfg.group_size,
+                decorrelate=cfg.decorrelate,
+                seed=derive_rng(cfg.seed, "lookhd-keys"),
+            )
+        else:
+            self.compressed_model = None
+        self._fused_engine = None
+
     # -- inference -------------------------------------------------------------
 
     def encode(self, features: np.ndarray) -> np.ndarray:
@@ -302,7 +341,7 @@ class LookHDClassifier:
         batch = check_finite(check_2d(features, "features"), "features")
         if batch.shape[0] == 0:
             return np.zeros(0, dtype=np.int64)
-        if self.config.fused_inference:
+        if self.config.fused_inference and not self.serve_reference:
             engine = self.fused_engine()
             if engine.enabled:
                 predictions = engine.predict(

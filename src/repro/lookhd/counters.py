@@ -15,6 +15,8 @@ which is algebraically identical to bundling every sample's Eq. 3 encoding
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro import kernels, telemetry
@@ -191,6 +193,21 @@ class ChunkCounters:
         self._ensure_headroom(int(other.counts.max(initial=0)), "merge")
         self.counts += other.counts.astype(self.counts.dtype, copy=False)
         self.n_samples += other.n_samples
+
+    def digest(self) -> str:
+        """SHA-256 over dtype + shape + raw counts (and the sample count).
+
+        The counters are the authoritative training record the integrity
+        layer repairs models from (:mod:`repro.resilience`); this digest
+        is what certifies they are themselves undamaged, and what the
+        chaos bench compares across sequential/parallel/recovered runs.
+        """
+        payload = hashlib.sha256()
+        payload.update(str(self.counts.dtype).encode())
+        payload.update(str(self.counts.shape).encode())
+        payload.update(np.ascontiguousarray(self.counts))
+        payload.update(str(self.n_samples).encode())
+        return payload.hexdigest()
 
     def occupancy(self) -> float:
         """Fraction of counter cells ever touched (table-utilisation metric)."""

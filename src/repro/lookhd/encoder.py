@@ -161,6 +161,17 @@ class LookupEncoder:
                 )
         return self._prebound
 
+    def invalidate_prebound(self) -> None:
+        """Drop the pre-bound table so the next access rebuilds it.
+
+        The backend-version key only covers kernel switches; in-place
+        corruption of the cached table is invisible to it.  The integrity
+        layer (:mod:`repro.resilience`) calls this to force a rebuild from
+        the raw lookup table and positions.
+        """
+        self._prebound = _UNSET
+        telemetry.count("encoder.prebound.invalidations")
+
     # -- encoding --------------------------------------------------------------
 
     def encode(self, features: np.ndarray) -> np.ndarray:

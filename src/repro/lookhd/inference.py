@@ -155,6 +155,19 @@ class FusedInferenceEngine:
             self._built_version = self.model.version
         return self._score_table
 
+    def invalidate(self) -> None:
+        """Drop the built score table so the next access rebuilds it.
+
+        The version counter only tracks *legitimate* model mutation; an
+        in-place corruption of the cached table (a flipped bit in BRAM)
+        leaves the version untouched and would be served forever.  The
+        integrity layer (:mod:`repro.resilience`) calls this to force a
+        rebuild from authoritative state.
+        """
+        self._score_table = None
+        self._built_version = None
+        telemetry.count("inference.score_table.invalidations")
+
     def _build(self) -> np.ndarray:
         table = self.encoder.lookup_table.table.astype(np.float64)  # (q^r, D)
         positions = self.encoder.position_memory.vectors  # (m, D)

@@ -80,6 +80,48 @@ def _array_digest(array: np.ndarray) -> str:
     return digest.hexdigest()
 
 
+def array_digest(array: np.ndarray) -> str:
+    """Public alias of the artifact checksum function.
+
+    The integrity layer (:mod:`repro.resilience`) and its tests use this
+    to compare live state against persisted artifacts with the *same*
+    hash the artifact format stores, so "bit-identical to a clean save"
+    is checkable without re-serialising anything.
+    """
+    return _array_digest(np.asarray(array))
+
+
+def artifact_checksums(path: str | Path) -> dict[str, str]:
+    """Read the checksum manifest of a saved artifact without loading it.
+
+    Returns the ``{array_name: sha256}`` manifest recorded at save time.
+    Raises :class:`ArtifactError` when the artifact predates checksums or
+    the manifest is unreadable — callers comparing manifests must not
+    mistake "nothing to compare" for "everything matches".
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        archive_ctx = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, ValueError, OSError) as error:
+        raise ArtifactError(
+            f"{path} is not a readable .npz artifact ({error})"
+        ) from None
+    with archive_ctx as archive:
+        if "checksums" not in archive:
+            raise ArtifactError(
+                f"artifact {path} carries no checksum manifest (format version "
+                "1 predates checksums); re-export the model to compare manifests"
+            )
+        try:
+            return dict(json.loads(str(archive["checksums"])))
+        except (json.JSONDecodeError, ValueError) as error:
+            raise ArtifactError(
+                f"artifact {path} has an unreadable checksum manifest ({error})"
+            ) from None
+
+
 def _actual_npz_path(path: Path) -> Path:
     """The filename :func:`numpy.savez_compressed` actually writes.
 

@@ -28,16 +28,19 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import threading
 import time
 import traceback
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.utils.validation import check_positive_int
 
 __all__ = [
     "AttachedArray",
+    "DEFAULT_MAX_RESPAWNS",
     "MapStats",
     "ProcessExecutor",
     "SharedArray",
@@ -49,9 +52,17 @@ __all__ = [
     "shared_memory_available",
 ]
 
-#: Seconds a worker may be dead without a result before the parent gives
-#: up waiting for in-flight queue messages and raises.
-_DEAD_WORKER_GRACE_SECONDS = 10.0
+#: Backstop timeout on the (otherwise blocking) result-queue get.  Worker
+#: exits are pushed into the queue by parent-side watcher threads, so the
+#: parent normally never waits this long — the backstop only matters if a
+#: wakeup message is somehow lost, and then it costs one retry, not
+#: correctness.
+_QUEUE_BACKSTOP_SECONDS = 60.0
+
+#: Default respawn budget per :meth:`ProcessExecutor.map` call: how many
+#: times dead workers are replaced before the executor gives up with a
+#: typed :class:`WorkerError`.
+DEFAULT_MAX_RESPAWNS = 2
 
 
 class WorkerError(RuntimeError):
@@ -227,6 +238,8 @@ class MapStats:
     task_seconds: tuple[float, ...]
     n_workers: int
     in_process: bool
+    #: Dead workers replaced during the call (see ``max_respawns``).
+    respawns: int = 0
 
     @property
     def utilisation(self) -> float:
@@ -285,6 +298,13 @@ class ProcessExecutor:
     start_method:
         ``fork`` / ``spawn`` / ``forkserver``; default
         :func:`default_start_method`.
+    max_respawns:
+        Supervision budget per :meth:`map` call: a worker that dies
+        without finishing is replaced by a fresh process that re-runs
+        only that worker's unfinished tasks (the static assignment makes
+        the re-run bit-identical), up to this many replacements total.
+        Budget exhausted → typed :class:`WorkerError`.  ``0`` disables
+        respawning (every death escalates immediately).
     """
 
     def __init__(
@@ -294,12 +314,16 @@ class ProcessExecutor:
         initargs: tuple = (),
         finalizer=None,
         start_method: str | None = None,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
     ):
         self.n_workers = resolve_n_workers(n_workers)
         self.initializer = initializer
         self.initargs = tuple(initargs)
         self.finalizer = finalizer
         self.start_method = start_method if start_method is not None else default_start_method()
+        if max_respawns < 0:
+            raise ValueError(f"max_respawns must be non-negative, got {max_respawns}")
+        self.max_respawns = int(max_respawns)
         self.last_stats: MapStats | None = None
 
     def map(self, fn, tasks) -> list:
@@ -339,6 +363,58 @@ class ProcessExecutor:
         )
         return results
 
+    def _spawn(self, context, result_queue, slot, incarnation, fn, assigned):
+        """Start one worker for ``slot`` plus its parent-side watcher thread.
+
+        The watcher blocks in ``process.join()`` (no CPU) and, when the
+        worker exits, pushes a parent-side ``("exit", …)`` wakeup into the
+        result queue.  Because the worker's own messages entered the queue
+        pipe before it died and the wakeup is enqueued after, the parent
+        consumes every result the worker managed to flush *before* acting
+        on its death — no in-flight data is raced away.
+        """
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                slot,
+                fn,
+                assigned,
+                self.initializer,
+                self.initargs,
+                self.finalizer,
+                result_queue,
+            ),
+            daemon=True,
+        )
+        process.start()
+
+        def _watch():
+            process.join()
+            try:
+                result_queue.put(("exit", slot, incarnation, process.exitcode))
+            except (ValueError, OSError):  # queue already closed at teardown
+                pass
+
+        threading.Thread(target=_watch, daemon=True, name=f"executor-watch-{slot}").start()
+        return process
+
+    @staticmethod
+    def _reap(processes) -> None:
+        """Join every worker, escalating join → terminate → kill.
+
+        A worker stuck in uninterruptible state must not leak past the
+        map call: after a grace join fails the parent terminates, then
+        kills — the same drain discipline the serving layer applies.
+        """
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+
     def _map_processes(self, fn, tasks) -> list:
         context = multiprocessing.get_context(self.start_method)
         n_procs = min(self.n_workers, len(tasks)) if tasks else self.n_workers
@@ -347,85 +423,99 @@ class ProcessExecutor:
             [(index, tasks[index]) for index in range(worker, len(tasks), n_procs)]
             for worker in range(n_procs)
         ]
-        processes = [
-            context.Process(
-                target=_worker_main,
-                args=(
-                    worker,
-                    fn,
-                    assignments[worker],
-                    self.initializer,
-                    self.initargs,
-                    self.finalizer,
-                    result_queue,
-                ),
-                daemon=True,
-            )
-            for worker in range(n_procs)
-        ]
         wall_start = time.perf_counter()
-        for process in processes:
-            process.start()
+        incarnations = [0] * n_procs
+        current = [
+            self._spawn(context, result_queue, slot, 0, fn, assignments[slot])
+            for slot in range(n_procs)
+        ]
+        all_processes = list(current)
 
         results = [None] * len(tasks)
+        received = [False] * len(tasks)
         task_seconds = [0.0] * len(tasks)
         worker_seconds = [0.0] * n_procs
         finished = [False] * n_procs
+        respawns = 0
         error: WorkerError | None = None
-        death_noticed_at: float | None = None
         try:
             while not all(finished) and error is None:
                 try:
-                    message = result_queue.get(timeout=0.1)
+                    # Blocking get: worker results, errors, and dones arrive
+                    # here, and so do the watcher threads' exit wakeups — an
+                    # idle parent burns no CPU (the busy-poll this replaces
+                    # woke 10×/second for the whole training run).
+                    message = result_queue.get(timeout=_QUEUE_BACKSTOP_SECONDS)
                 except queue_module.Empty:
-                    # No message: if a worker exited without reporting, give
-                    # in-flight queue data a grace period, then fail typed.
-                    dead = [
-                        index
-                        for index, process in enumerate(processes)
-                        if not finished[index] and process.exitcode is not None
-                    ]
-                    if not dead:
-                        death_noticed_at = None
-                        continue
-                    now = time.perf_counter()
-                    if death_noticed_at is None:
-                        death_noticed_at = now
-                    if now - death_noticed_at > _DEAD_WORKER_GRACE_SECONDS:
-                        index = dead[0]
-                        error = WorkerError(
-                            f"worker {index} exited with code "
-                            f"{processes[index].exitcode} before finishing its tasks",
-                            worker_index=index,
-                        )
+                    # Backstop only: a lost wakeup shows up as a long silence.
+                    # Synthesise exit messages for any dead-but-unhandled
+                    # workers and loop; live-and-working pools just re-block.
+                    for slot, process in enumerate(current):
+                        if not finished[slot] and process.exitcode is not None:
+                            result_queue.put(
+                                ("exit", slot, incarnations[slot], process.exitcode)
+                            )
                     continue
                 kind = message[0]
                 if kind == "result":
-                    _, worker, task_index, value, seconds = message
+                    _, slot, task_index, value, seconds = message
                     results[task_index] = value
+                    received[task_index] = True
                     task_seconds[task_index] = seconds
                 elif kind == "done":
-                    _, worker, busy = message
-                    worker_seconds[worker] = busy
-                    finished[worker] = True
+                    _, slot, busy = message
+                    worker_seconds[slot] += busy
+                    finished[slot] = True
                 elif kind == "error":
-                    _, worker, task_index, cause_type, cause_message, text = message
+                    _, slot, task_index, cause_type, cause_message, text = message
                     error = WorkerError(
-                        f"worker {worker} failed"
+                        f"worker {slot} failed"
                         + (f" on task {task_index}" if task_index is not None else " during setup")
                         + f": {cause_type}: {cause_message}",
-                        worker_index=worker,
+                        worker_index=slot,
                         task_index=task_index,
                         cause_type=cause_type,
                         worker_traceback=text,
                     )
+                elif kind == "exit":
+                    _, slot, incarnation, exitcode = message
+                    if finished[slot] or incarnation != incarnations[slot]:
+                        continue  # normal completion, or a stale duplicate
+                    # The worker died mid-assignment.  Its results that
+                    # reached the queue were consumed above (FIFO), so the
+                    # remaining tasks are exactly the un-received ones —
+                    # re-running them on a fresh worker is bit-identical
+                    # because assignment is static, not work-stealing.
+                    remaining = [
+                        (index, task)
+                        for index, task in assignments[slot]
+                        if not received[index]
+                    ]
+                    if not remaining:
+                        finished[slot] = True
+                        continue
+                    if respawns >= self.max_respawns:
+                        error = WorkerError(
+                            f"worker {slot} exited with code {exitcode} before "
+                            f"finishing its tasks, and the respawn budget "
+                            f"({self.max_respawns}) is exhausted",
+                            worker_index=slot,
+                        )
+                        continue
+                    respawns += 1
+                    incarnations[slot] += 1
+                    telemetry.count("parallel.workers.respawned")
+                    replacement = self._spawn(
+                        context, result_queue, slot, incarnations[slot], fn, remaining
+                    )
+                    current[slot] = replacement
+                    all_processes.append(replacement)
         finally:
             if error is not None:
-                for process in processes:
+                for process in all_processes:
                     if process.is_alive():
                         process.terminate()
-            for process in processes:
-                process.join(timeout=5.0)
+            self._reap(all_processes)
             result_queue.close()
         if error is not None:
             raise error
@@ -435,5 +525,6 @@ class ProcessExecutor:
             task_seconds=tuple(task_seconds),
             n_workers=n_procs,
             in_process=False,
+            respawns=respawns,
         )
         return results

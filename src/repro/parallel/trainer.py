@@ -40,6 +40,7 @@ from repro.lookhd.counters import ChunkCounters
 from repro.lookhd.encoder import LookupEncoder
 from repro.lookhd.trainer import LookHDTrainer
 from repro.parallel.executor import (
+    DEFAULT_MAX_RESPAWNS,
     ProcessExecutor,
     SharedArray,
     AttachedArray,
@@ -57,12 +58,15 @@ _SHARD_SECONDS_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
 _WORKER_STATE: dict = {}
 
 
-def _init_training_worker(encoder, n_classes, features_spec, labels_spec) -> None:
+def _init_training_worker(
+    encoder, n_classes, features_spec, labels_spec, shard_hook=None
+) -> None:
     """Per-worker broadcast: the fitted encoder + shared-memory handles."""
     _WORKER_STATE["encoder"] = encoder
     _WORKER_STATE["n_classes"] = n_classes
     _WORKER_STATE["features"] = AttachedArray(features_spec)
     _WORKER_STATE["labels"] = AttachedArray(labels_spec)
+    _WORKER_STATE["shard_hook"] = shard_hook
 
 
 def _close_training_worker() -> None:
@@ -82,6 +86,13 @@ def _count_training_shard(shard: tuple[int, int]):
     reconstructs the sequential counters bit for bit.
     """
     start, stop = shard
+    shard_hook = _WORKER_STATE.get("shard_hook")
+    if shard_hook is not None:
+        # Chaos seam: the hook runs in the worker process before any
+        # counting, so a test (or the chaos bench) can kill this worker
+        # mid-run and assert the supervised respawn reproduces the
+        # sequential counters bit for bit.  Must be module-level picklable.
+        shard_hook(shard)
     encoder: LookupEncoder = _WORKER_STATE["encoder"]
     n_classes: int = _WORKER_STATE["n_classes"]
     n_chunks = encoder.layout.n_chunks
@@ -117,6 +128,15 @@ class ParallelTrainer(LookHDTrainer):
     start_method:
         Multiprocessing start method override (default: ``fork`` where
         available, else ``spawn``).
+    shard_hook:
+        Optional module-level callable run in each worker, once per
+        shard, before counting (chaos/testing seam — e.g. kill the
+        worker to exercise supervised respawn).  Broadcast through the
+        initializer, so it must be picklable.
+    max_respawns:
+        Respawn budget forwarded to the executor: dead workers are
+        replaced (their unfinished shards re-run, bit-identically) this
+        many times per ``observe`` before a typed ``WorkerError``.
     """
 
     def __init__(
@@ -125,12 +145,16 @@ class ParallelTrainer(LookHDTrainer):
         n_classes: int,
         n_workers: int | None = None,
         start_method: str | None = None,
+        shard_hook=None,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
     ):
         super().__init__(encoder, n_classes)
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         self.n_workers = resolve_n_workers(n_workers)
         self.start_method = start_method
+        self.shard_hook = shard_hook
+        self.max_respawns = max_respawns
         #: Breakdown of the most recent parallel ``observe`` call (None
         #: after a sequential-fallback call): shard/setup/merge seconds,
         #: wall time, and pool utilisation — surfaced by the
@@ -161,9 +185,11 @@ class ParallelTrainer(LookHDTrainer):
                     self.n_classes,
                     shared_features.spec,
                     shared_labels.spec,
+                    self.shard_hook,
                 ),
                 finalizer=_close_training_worker,
                 start_method=self.start_method,
+                max_respawns=self.max_respawns,
             )
             shards = plan_shards(batch.shape[0], self.n_workers)
             shard_results = executor.map(_count_training_shard, shards)
@@ -207,6 +233,7 @@ class ParallelTrainer(LookHDTrainer):
             "wall_seconds": wall_seconds,
             "utilisation": utilisation,
             "in_process": bool(stats.in_process) if stats is not None else True,
+            "respawns": int(stats.respawns) if stats is not None else 0,
             "shared_bytes": shared_features.nbytes + shared_labels.nbytes,
             # Which backend served each kernel primitive in *this* process
             # (workers resolve independently from the same env/config).

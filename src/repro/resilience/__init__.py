@@ -1,0 +1,71 @@
+"""Self-healing runtime: integrity scrubbing, typed deadlines, fault recovery.
+
+The fault harness (:mod:`repro.faults`) measures what bit errors cost;
+this package makes the runtime *tolerate* them:
+
+- :mod:`repro.resilience.retry` — monotonic deadlines
+  (:class:`Deadline`/:class:`DeadlineExceededError`) and bounded retry
+  with exponential backoff + deterministic jitter (:func:`retry_call`).
+- :mod:`repro.resilience.integrity` — SHA-256 shadow digests over
+  authoritative model state, canary known-answer checks over derived
+  caches, and a budgeted :class:`Scrubber` that detects and auto-repairs
+  corruption (rebuild derived caches → rebuild from counters → degrade
+  to the reference path).
+- :mod:`repro.resilience.chaos` — the ``repro chaos`` benchmark:
+  injects live faults mid-traffic and gates detection/repair latency,
+  availability, and post-repair bit-identity via
+  ``BENCH_resilience.json`` (its names resolve lazily — see
+  ``_CHAOS_EXPORTS`` below).
+
+Supervised worker respawn lives with the executor it supervises
+(:mod:`repro.parallel.executor`); the serving integration (health
+probes, graceful drain) in :mod:`repro.serving`.
+"""
+
+from repro.resilience.integrity import IntegrityError, IntegrityGuard, RepairReport, Scrubber
+from repro.resilience.retry import (
+    Deadline,
+    DeadlineExceededError,
+    RetryBudgetExceededError,
+    backoff_delays,
+    retry_call,
+)
+from repro.resilience.schema import (
+    RESILIENCE_SCHEMA_VERSION,
+    validate_resilience_payload,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "Deadline",
+    "DeadlineExceededError",
+    "IntegrityError",
+    "IntegrityGuard",
+    "OVERHEAD_BUDGET",
+    "RESILIENCE_SCHEMA_VERSION",
+    "RepairReport",
+    "RetryBudgetExceededError",
+    "Scrubber",
+    "backoff_delays",
+    "chaos_config",
+    "retry_call",
+    "run_chaos",
+    "validate_resilience_payload",
+    "write_resilience_file",
+]
+
+#: Chaos-bench names resolved lazily: :mod:`repro.resilience.chaos`
+#: imports the serving layer, which imports ``resilience.retry`` — an
+#: eager import here would close that cycle while ``repro.serving`` is
+#: still initialising.
+_CHAOS_EXPORTS = frozenset(
+    {"ChaosConfig", "OVERHEAD_BUDGET", "chaos_config", "run_chaos", "write_resilience_file"}
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.resilience import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -7,6 +7,13 @@ one JSON line:
     → {"id": 7, "features": [0.1, 0.2, ...]}
     ← {"id": 7, "prediction": 3}
 
+A request may carry ``"deadline_ms"`` to bound how long it is allowed to
+wait for a batch slot (see ``MicrobatchConfig.deadline_ms``).  A
+``{"op": "health"}`` request returns the service's liveness snapshot
+instead of a prediction: running state, queue depth, request accounting,
+and — when an integrity scrubber is attached — its status, including the
+last detected error and last repair.
+
 Error responses carry a machine-routable ``error`` code plus a
 human-readable ``detail``:
 
@@ -14,10 +21,22 @@ human-readable ``detail``:
   (maps from ``ValueError``); the connection stays open.
 * ``overloaded`` — admission control rejected
   (:class:`ServiceOverloadedError`); the client should back off and retry.
+* ``deadline`` — the request expired before its batch flushed
+  (:class:`~repro.resilience.retry.DeadlineExceededError`); the model
+  never ran for it.
 * ``closed`` — the service stopped while the request was in flight.
 
 Every connection shares the one microbatcher, so concurrent clients are
-exactly what fills its batches.
+exactly what fills its batches.  A client that disconnects with a
+request in flight does not disturb the service: the batch completes and
+drains normally, the unanswerable response is accounted under
+:attr:`ServingServer.cancelled`, and the handler closes quietly — no
+stack traces for a routine hangup.
+
+Resilience wiring: pass a :class:`~repro.resilience.integrity.Scrubber`
+to co-host integrity scrubbing with serving.  The scrub loop ticks on the
+event loop only while the request queue is empty, so verification steals
+idle cycles instead of taxing p99 latency under load.
 """
 
 from __future__ import annotations
@@ -26,6 +45,7 @@ import asyncio
 import json
 
 from repro import telemetry
+from repro.resilience.retry import DeadlineExceededError
 from repro.serving.service import (
     InferenceService,
     ServiceClosedError,
@@ -44,13 +64,38 @@ class ServingServer:
     host, port:
         Bind address.  ``port=0`` binds an ephemeral port; read
         :attr:`port` after :meth:`start` (the in-process test/smoke path).
+    scrubber:
+        Optional :class:`~repro.resilience.integrity.Scrubber` over the
+        served classifier.  When set, a background task ticks it every
+        ``scrub_interval`` seconds while the service is idle, and its
+        status is reported by the ``health`` op.
+    scrub_interval:
+        Seconds between scrub ticks (only meaningful with ``scrubber``).
     """
 
-    def __init__(self, service: InferenceService, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        service: InferenceService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scrubber=None,
+        scrub_interval: float = 0.25,
+    ):
         self.service = service
         self.host = host
+        self.scrubber = scrubber
+        if not scrub_interval > 0:
+            raise ValueError(
+                f"scrub_interval must be positive, got {scrub_interval}"
+            )
+        self.scrub_interval = scrub_interval
+        #: Requests whose client disconnected before the answer could be
+        #: written.  The prediction itself still completed (the service
+        #: drains normally); only the response had nobody to go to.
+        self.cancelled = 0
         self._requested_port = port
         self._server: asyncio.AbstractServer | None = None
+        self._scrub_task: asyncio.Task | None = None
 
     @property
     def port(self) -> int:
@@ -64,9 +109,20 @@ class ServingServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
+        if self.scrubber is not None and self._scrub_task is None:
+            self._scrub_task = asyncio.get_running_loop().create_task(
+                self._scrub_loop()
+            )
         return self
 
     async def stop(self) -> None:
+        if self._scrub_task is not None:
+            self._scrub_task.cancel()
+            try:
+                await self._scrub_task
+            except asyncio.CancelledError:
+                pass
+            self._scrub_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -84,7 +140,45 @@ class ServingServer:
     async def __aexit__(self, *exc_info) -> None:
         await self.stop()
 
+    # -- resilience ------------------------------------------------------------
+
+    async def _scrub_loop(self) -> None:
+        """Tick the scrubber whenever the service has no queued work.
+
+        ``Scrubber.tick`` is deliberately small (a handful of block
+        digests per call) and never raises, so running it inline on the
+        event loop is safe; gating on an empty queue keeps it out of the
+        latency path under load.
+        """
+        while True:
+            await asyncio.sleep(self.scrub_interval)
+            if self.service.queue_depth == 0:
+                self.scrubber.tick()
+
+    def health(self) -> dict:
+        """Liveness snapshot served by the ``{"op": "health"}`` request."""
+        scrub = self.scrubber.status() if self.scrubber is not None else None
+        degraded = bool(scrub["degraded"]) if scrub is not None else False
+        return {
+            "status": "degraded" if degraded else "ok",
+            "running": self.service.running,
+            "queue_depth": self.service.queue_depth,
+            "requests": self.service.request_stats(),
+            "cancelled": self.cancelled,
+            "scrub": scrub,
+        }
+
     # -- connection handling ---------------------------------------------------
+
+    def _account_cancelled(self) -> None:
+        """The client hung up while its request was in flight.
+
+        The prediction itself already completed and the service drained it;
+        account the orphaned answer and let the handler close quietly — a
+        routine hangup is not worth a stack trace.
+        """
+        self.cancelled += 1
+        telemetry.count("serving.requests.cancelled", reason="disconnect")
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -96,16 +190,40 @@ class ServingServer:
                 if not line:
                     break
                 response = await self._answer(line)
-                writer.write((json.dumps(response) + "\n").encode())
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
+                # A peer that closed while its request was in flight sends
+                # FIN, which does not fail the first write — the EOF/closing
+                # flags are how the hangup is actually observable here.  (A
+                # half-closing client is treated as gone; NDJSON peers hold
+                # the connection open for their responses.)
+                if writer.is_closing() or reader.at_eof():
+                    self._account_cancelled()
+                    break
+                try:
+                    writer.write((json.dumps(response) + "\n").encode())
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    self._account_cancelled()
+                    break
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            # Disconnect between requests: nothing was in flight.
+            pass
+        except asyncio.CancelledError:
+            # Server stop cancels handlers parked on readline.  Finishing
+            # through the finally (rather than re-raising) leaves the task
+            # without an exception, so asyncio's streams callback does not
+            # log a spurious traceback for a routine shutdown.
             pass
         finally:
             telemetry.count("serving.connections.closed")
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            except asyncio.CancelledError:
+                # Loop teardown cancelled the handler mid-close.  Finishing
+                # (rather than re-raising) keeps asyncio's stream callback
+                # from logging a spurious traceback for a routine shutdown.
                 pass
 
     async def _answer(self, line: bytes) -> dict:
@@ -115,12 +233,18 @@ class ServingServer:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
+            if request.get("op") == "health":
+                return {"id": request_id, **self.health()}
             features = request.get("features")
             if not isinstance(features, list):
                 raise ValueError("request must carry a 'features' list")
-            prediction = await self.service.predict(features)
+            prediction = await self.service.predict(
+                features, deadline_ms=request.get("deadline_ms")
+            )
         except ServiceOverloadedError as error:
             return {"id": request_id, "error": "overloaded", "detail": str(error)}
+        except DeadlineExceededError as error:
+            return {"id": request_id, "error": "deadline", "detail": str(error)}
         except ServiceClosedError as error:
             return {"id": request_id, "error": "closed", "detail": str(error)}
         except (ValueError, TypeError, json.JSONDecodeError) as error:

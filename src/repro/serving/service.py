@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import kernels, telemetry
+from repro.resilience.retry import DeadlineExceededError
 from repro.utils.validation import check_positive_int
 
 #: Flush-reason labels (also the ``reason`` label on the
@@ -108,6 +109,16 @@ class MicrobatchConfig:
     max_queue_depth:
         Admission bound: requests beyond this many waiting raise
         :class:`ServiceOverloadedError` instead of queueing.
+    deadline_ms:
+        Default per-request deadline: a request still unanswered this
+        long after admission fails its await with a typed
+        :class:`~repro.resilience.retry.DeadlineExceededError` instead of
+        occupying a batch slot forever.  ``None`` (default) disables
+        deadlines; per-request overrides via ``predict(deadline_ms=…)``.
+        Expiry is checked at flush time — the request is dropped *before*
+        the model runs, so an overloaded service sheds work it could no
+        longer answer in time instead of computing answers nobody waits
+        for.
     dispatch:
         Where the batched ``predict`` runs.  ``"inline"`` (default) calls
         it synchronously on the event loop: a fused batch costs a few
@@ -123,6 +134,7 @@ class MicrobatchConfig:
     max_batch: int = 64
     max_wait_ms: float = 2.0
     max_queue_depth: int = 1_024
+    deadline_ms: float | None = None
     dispatch: str = "inline"
 
     def __post_init__(self):
@@ -130,6 +142,8 @@ class MicrobatchConfig:
         check_positive_int(self.max_queue_depth, "max_queue_depth")
         if not self.max_wait_ms > 0:
             raise ValueError(f"max_wait_ms must be positive, got {self.max_wait_ms}")
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ValueError(f"deadline_ms must be positive, got {self.deadline_ms}")
         if self.max_queue_depth < self.max_batch:
             raise ValueError(
                 f"max_queue_depth ({self.max_queue_depth}) must be >= "
@@ -142,12 +156,19 @@ class MicrobatchConfig:
 
 
 class _Request:
-    __slots__ = ("features", "future", "enqueued_at")
+    __slots__ = ("features", "future", "enqueued_at", "deadline_at")
 
-    def __init__(self, features: np.ndarray, future: asyncio.Future, enqueued_at: float):
+    def __init__(
+        self,
+        features: np.ndarray,
+        future: asyncio.Future,
+        enqueued_at: float,
+        deadline_at: float | None = None,
+    ):
         self.features = features
         self.future = future
         self.enqueued_at = enqueued_at
+        self.deadline_at = deadline_at
 
 
 class InferenceService:
@@ -206,9 +227,14 @@ class InferenceService:
         self.completed = 0
         self.rejected = 0
         self.failed = 0
+        self.expired = 0
         self.batches = 0
         self.max_batch_size = 0
         self.flush_reasons: dict[str, int] = {}
+        # Hot-path fast flag: expiry filtering at flush time only runs
+        # once any request has carried a deadline, so deadline-free
+        # deployments pay nothing for the feature.
+        self._deadline_possible = self.config.deadline_ms is not None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -272,23 +298,40 @@ class InferenceService:
         # whole batch.
         return row
 
-    async def predict(self, features: np.ndarray) -> np.int64:
+    async def predict(
+        self, features: np.ndarray, deadline_ms: float | None = None
+    ) -> np.int64:
         """Classify one sample; resolves when its batch has been served.
+
+        ``deadline_ms`` overrides the config default for this request: if
+        the batch holding it has not flushed by then, the await fails
+        with a typed
+        :class:`~repro.resilience.retry.DeadlineExceededError` and the
+        model never runs for it.
 
         Raises ``ValueError`` on malformed input (wrong shape/width,
         NaN/inf), :class:`ServiceOverloadedError` when admission control
         rejects, and :class:`ServiceClosedError` when the service is not
         running.  Admitted requests always resolve (or carry the batch's
-        exception) — never silently drop.
+        exception, or their deadline's) — never silently drop.
         """
         if not self._running:
             raise ServiceClosedError("service is not running; call start() first")
         row = self._validate(features)
+        if deadline_ms is None:
+            deadline_ms = self.config.deadline_ms
+        elif not deadline_ms > 0:
+            raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
         if len(self._queue) >= self.config.max_queue_depth:
             self.rejected += 1
             telemetry.count("serving.requests.rejected", reason="queue_full")
             raise ServiceOverloadedError(len(self._queue), self.config.max_queue_depth)
-        request = _Request(row, self._loop.create_future(), time.perf_counter())
+        now = time.perf_counter()
+        deadline_at = None
+        if deadline_ms is not None:
+            deadline_at = now + deadline_ms / 1_000.0
+            self._deadline_possible = True
+        request = _Request(row, self._loop.create_future(), now, deadline_at)
         self._queue.append(request)
         self.admitted += 1
         # Wake the collector only on the edges it cares about — the first
@@ -360,6 +403,26 @@ class InferenceService:
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
         if len(batch) > self.max_batch_size:
             self.max_batch_size = len(batch)
+        if self._deadline_possible:
+            alive = [
+                r.deadline_at is None or r.deadline_at >= collected_at
+                for r in batch
+            ]
+            if not all(alive):
+                expired = [r for r, ok in zip(batch, alive) if not ok]
+                self.expired += len(expired)
+                telemetry.count("serving.requests.expired", len(expired))
+                for request in expired:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            DeadlineExceededError(
+                                collected_at - request.enqueued_at,
+                                request.deadline_at - request.enqueued_at,
+                            )
+                        )
+                batch = [r for r, ok in zip(batch, alive) if ok]
+                if not batch:
+                    return
         instrumented = telemetry.is_enabled()
         enqueued_at = None
         if instrumented:
@@ -431,15 +494,19 @@ class InferenceService:
         """Always-on request accounting (independent of telemetry state).
 
         ``dropped`` is the invariant the drain logic protects: requests
-        admitted but neither completed nor failed.  It must be 0 after a
-        clean ``stop()``.
+        admitted but neither completed, failed, nor expired.  It must be
+        0 after a clean ``stop()``.
         """
         return {
             "admitted": self.admitted,
             "completed": self.completed,
             "rejected": self.rejected,
             "failed": self.failed,
-            "dropped": self.admitted - self.completed - self.failed,
+            "expired": self.expired,
+            "dropped": self.admitted
+            - self.completed
+            - self.failed
+            - self.expired,
             "batches": self.batches,
             # Deployment introspection: which backend serves each kernel
             # primitive in this process (the compiled-path liveness check).

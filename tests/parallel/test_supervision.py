@@ -1,0 +1,87 @@
+"""Supervised respawn: dead workers are replaced, bit-identity preserved."""
+
+from __future__ import annotations
+
+import functools
+import os
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.trainer import LookHDTrainer
+from repro.parallel.executor import WorkerError, shared_memory_available
+from repro.parallel.trainer import ParallelTrainer
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no working shared memory on this platform"
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_synthetic_classification(
+        SyntheticSpec(n_features=24, n_classes=4, n_train=160, n_test=80, seed=7),
+        name="supervision",
+    )
+
+
+@pytest.fixture(scope="module")
+def encoder(data):
+    clf = LookHDClassifier(LookHDConfig(dim=256, levels=4, chunk_size=4, seed=3))
+    clf.fit(data.train_features, data.train_labels)
+    return clf.encoder
+
+
+def _kill_once(fuse_path: str, shard) -> None:
+    """First worker to claim the fuse file dies before counting its shard."""
+    try:
+        fd = os.open(fuse_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(1)
+
+
+def _always_die(shard) -> None:
+    os._exit(1)
+
+
+def test_respawn_preserves_bit_identity(data, encoder, tmp_path):
+    sequential = LookHDTrainer(encoder, 4)
+    sequential.observe(data.train_features, data.train_labels)
+
+    hook = functools.partial(_kill_once, str(tmp_path / "fuse"))
+    parallel = ParallelTrainer(encoder, 4, n_workers=2, shard_hook=hook)
+    parallel.observe(data.train_features, data.train_labels)
+
+    assert parallel.last_parallel_stats["respawns"] == 1
+    for ours, theirs in zip(parallel.counters, sequential.counters):
+        assert np.array_equal(ours.counts, theirs.counts)
+        assert ours.n_samples == theirs.n_samples
+        assert ours.digest() == theirs.digest()
+    assert np.array_equal(
+        parallel.build_model().class_vectors, sequential.build_model().class_vectors
+    )
+
+
+def test_clean_run_needs_no_respawns(data, encoder):
+    parallel = ParallelTrainer(encoder, 4, n_workers=2)
+    parallel.observe(data.train_features, data.train_labels)
+    assert parallel.last_parallel_stats["respawns"] == 0
+
+
+def test_persistent_crash_escalates_typed_after_budget(data, encoder):
+    parallel = ParallelTrainer(
+        encoder, 4, n_workers=2, shard_hook=_always_die, max_respawns=1
+    )
+    with pytest.raises(WorkerError, match="respawn budget"):
+        parallel.observe(data.train_features, data.train_labels)
+
+
+def test_negative_respawn_budget_rejected(encoder):
+    with pytest.raises(ValueError, match="max_respawns"):
+        ParallelTrainer(encoder, 4, n_workers=2, max_respawns=-1).observe(
+            np.zeros((4, 24)), np.zeros(4, dtype=np.int64)
+        )

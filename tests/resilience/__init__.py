@@ -1,0 +1,1 @@
+"""Tests for the self-healing runtime (repro.resilience)."""

@@ -1,0 +1,112 @@
+"""Chaos bench: end-to-end fault→detect→repair run + schema gates."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.resilience import validate_resilience_payload
+from repro.resilience.chaos import ChaosConfig, chaos_config, write_resilience_file
+
+
+#: A deliberately tiny run — the CI smoke profile exercises real scale;
+#: this keeps the tier-1 suite fast while still driving every scenario.
+_TINY = ChaosConfig(
+    dim=256,
+    n_features=16,
+    n_classes=3,
+    n_train=120,
+    n_test=60,
+    seed=5,
+    n_requests=80,
+    concurrency=8,
+    inject_after=10,
+    scrub_blocks_per_tick=64,
+    overhead_requests=40,
+    overhead_repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def payload(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("chaos")
+    path = write_resilience_file(profile="smoke", out_dir=out_dir, config=_TINY)
+    return json.loads(path.read_text())
+
+
+class TestChaosConfig:
+    def test_profiles_resolve(self):
+        assert chaos_config("full").dim > chaos_config("smoke").dim
+        with pytest.raises(ValueError, match="profile"):
+            chaos_config("nope")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="inject_after"):
+            ChaosConfig(n_requests=10, inject_after=10)
+        with pytest.raises(ValueError, match="n_workers"):
+            ChaosConfig(n_workers=1)
+
+
+class TestChaosRun:
+    def test_payload_passes_its_own_schema(self, payload):
+        validate_resilience_payload(payload)
+
+    def test_serving_fault_detected_repaired_bit_identical(self, payload):
+        serving = payload["serving"]
+        assert serving["detected"] is True
+        assert serving["repaired"] is True
+        assert serving["detection_seconds"] >= 0.0
+        assert serving["repair_seconds"] >= serving["detection_seconds"]
+        assert serving["post_repair_bit_identical"] is True
+        assert serving["injection"]["elements_flipped"] >= 1
+        assert serving["scrub"]["repairs"] >= 1
+
+    def test_training_kill_recovers_bit_identically(self, payload):
+        training = payload["training"]
+        assert training["counters_bit_identical"] is True
+        assert training["class_vectors_bit_identical"] is True
+        if training["parallel_executed"]:
+            assert training["respawns"] >= 1
+
+    def test_overhead_measured(self, payload):
+        overhead = payload["overhead"]
+        assert overhead["baseline_seconds"] > 0.0
+        assert overhead["scrub_attached_seconds"] > 0.0
+        assert isinstance(overhead["within_budget"], bool)
+
+
+class TestSchemaGates:
+    """The schema *is* the chaos gate: unhealed runs do not validate."""
+
+    def test_failed_recovery_rejected(self, payload):
+        for gate in (
+            "derived_fault_detected",
+            "derived_fault_repaired",
+            "post_repair_bit_identical",
+            "training_counters_bit_identical",
+        ):
+            broken = copy.deepcopy(payload)
+            broken["checks"][gate] = False
+            with pytest.raises(ValueError, match=gate):
+                validate_resilience_payload(broken)
+
+    def test_phantom_respawn_rejected(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["training"]["parallel_executed"] = True
+        broken["training"]["respawns"] = 0
+        with pytest.raises(ValueError, match="respawns"):
+            validate_resilience_payload(broken)
+
+    def test_structural_violations_rejected(self, payload):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_resilience_payload([])
+        broken = copy.deepcopy(payload)
+        broken["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_resilience_payload(broken)
+        broken = copy.deepcopy(payload)
+        del broken["serving"]["injection"]
+        with pytest.raises(ValueError, match="injection"):
+            validate_resilience_payload(broken)

@@ -1,0 +1,94 @@
+"""Persistence corruption → typed error → rebuild → bit-identical save.
+
+The satellite round trip: a checksum-failing artifact must be rejected
+with a typed :class:`ArtifactError`, and an in-memory corruption repaired
+from counters must serialise to the *same* checksum manifest as a save
+taken before the damage — recovery is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, make_synthetic_classification
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.persistence import (
+    ArtifactError,
+    array_digest,
+    artifact_checksums,
+    load_classifier,
+    save_classifier,
+)
+from repro.resilience import IntegrityGuard
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_synthetic_classification(
+        SyntheticSpec(n_features=20, n_classes=4, n_train=160, n_test=80, seed=13),
+        name="roundtrip",
+    )
+
+
+@pytest.fixture
+def clf(data):
+    model = LookHDClassifier(LookHDConfig(dim=256, levels=4, chunk_size=4, seed=4))
+    model.fit(data.train_features, data.train_labels)
+    return model
+
+
+def _tamper_array(path, name):
+    """Rewrite the artifact with one array modified, manifest untouched."""
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    damaged = arrays[name].copy()
+    damaged.flat[0] += 1
+    arrays[name] = damaged
+    np.savez_compressed(path, **arrays)
+
+
+def test_checksum_failing_artifact_raises_typed(clf, tmp_path):
+    path = save_classifier(clf, tmp_path / "model.npz")
+    _tamper_array(path, "class_vectors")
+    with pytest.raises(ArtifactError, match="checksum"):
+        load_classifier(path)
+
+
+def test_manifest_readable_without_loading(clf, tmp_path):
+    path = save_classifier(clf, tmp_path / "model.npz")
+    manifest = artifact_checksums(path)
+    assert manifest["class_vectors"] == array_digest(clf.class_model.class_vectors)
+    with pytest.raises(FileNotFoundError):
+        artifact_checksums(tmp_path / "missing.npz")
+
+
+def test_corruption_repair_roundtrip_bit_identical(clf, data, tmp_path):
+    # Baseline recorded while the state is known-good: the guard's digests
+    # and a clean on-disk save.
+    guard = IntegrityGuard(clf)
+    clean_path = save_classifier(clf, tmp_path / "clean.npz")
+    clean_manifest = artifact_checksums(clean_path)
+    clean_predictions = np.asarray(clf.predict(data.test_features))
+
+    # Silent in-memory damage to the class model (no version bump).
+    clf.class_model.class_vectors[1, 2] -= 9
+    assert array_digest(clf.class_model.class_vectors) != clean_manifest["class_vectors"]
+
+    errors = guard.verify_all()
+    target = next(e for e in errors if e.artifact == "class_vectors")
+    report = guard.repair(target)
+    assert report.action == "rebuilt_from_counters"
+    assert report.repaired
+
+    # The rebuilt state serialises to the *same* checksum manifest as the
+    # pre-damage save — bit-identity on disk, not just equal accuracy.
+    repaired_path = save_classifier(clf, tmp_path / "repaired.npz")
+    assert artifact_checksums(repaired_path) == clean_manifest
+    assert np.array_equal(np.asarray(clf.predict(data.test_features)), clean_predictions)
+
+    # And the repaired artifact loads cleanly through checksum verification.
+    restored = load_classifier(repaired_path)
+    assert np.array_equal(
+        np.asarray(restored.predict(data.test_features)), clean_predictions
+    )

@@ -108,6 +108,43 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    """Parse-time bound for strictly-positive float flags.
+
+    Rejecting ``--deadline-ms 0`` (and friends) here means the error is a
+    one-line argparse usage message at invocation, not a traceback from
+    deep inside the service after a model was already loaded or trained.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a number, got {text!r}") from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """Parse-time bound for float flags where 0 means "disabled"."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a number, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _tenant_model(text: str) -> tuple[str, str]:
+    """Parse one ``--models`` entry: ``NAME=PATH`` → ``(tenant, path)``."""
+    tenant, sep, path = text.partition("=")
+    if not sep or not tenant or not path:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=PATH (e.g. edge-7=model.npz), got {text!r}"
+        )
+    return tenant, path
+
+
 def _parse_worker_counts(text: str) -> tuple[int, ...]:
     """Parse ``--worker-counts``: a comma list of positive ints, e.g. 1,2,4."""
     try:
@@ -228,9 +265,38 @@ def _cmd_serve(args) -> int:
     import asyncio
     import signal
 
-    from repro.serving import InferenceService, MicrobatchConfig, ServingServer
+    from repro.serving import (
+        InferenceService,
+        MicrobatchConfig,
+        ModelRegistry,
+        ServingServer,
+    )
 
-    if args.model:
+    # Config validation runs before any model is loaded or trained, so a
+    # bad knob combination fails in milliseconds, not after a fit.
+    config = MicrobatchConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue_depth=args.max_queue_depth,
+        deadline_ms=args.deadline_ms,
+        tenant_quota=args.tenant_quota,
+        dispatch=args.dispatch,
+    )
+    if args.models and args.model:
+        print("pass either --model (single) or --models (fleet), not both", file=sys.stderr)
+        return 2
+
+    registry = None
+    clf = None
+    if args.models:
+        registry = ModelRegistry(cache_budget_bytes=args.cache_budget_bytes)
+        for tenant, path in args.models:
+            record = registry.publish(tenant, load_classifier(path))
+            print(
+                f"published tenant {tenant!r} v{record.version} "
+                f"({record.table_bytes} table bytes{'' if record.bound else ', unbound'})"
+            )
+    elif args.model:
         clf = load_classifier(args.model)
     else:
         data = _load_dataset(args)
@@ -244,22 +310,24 @@ def _cmd_serve(args) -> int:
             )
         )
         clf.fit(data.train_features, data.train_labels)
-    config = MicrobatchConfig(
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        max_queue_depth=args.max_queue_depth,
-        deadline_ms=args.deadline_ms,
-        dispatch=args.dispatch,
-    )
 
     async def _run() -> None:
         scrubber = None
         if args.scrub_interval > 0:
-            from repro.resilience import IntegrityGuard, Scrubber
+            if registry is not None:
+                from repro.resilience import FleetScrubber
 
-            scrubber = Scrubber(IntegrityGuard(clf))
+                scrubber = FleetScrubber(registry)
+            else:
+                from repro.resilience import IntegrityGuard, Scrubber
+
+                scrubber = Scrubber(IntegrityGuard(clf))
+        if registry is not None:
+            service = InferenceService(registry=registry, config=config)
+        else:
+            service = InferenceService(clf, config)
         server = ServingServer(
-            InferenceService(clf, config),
+            service,
             host=args.host,
             port=args.port,
             scrubber=scrubber,
@@ -268,9 +336,10 @@ def _cmd_serve(args) -> int:
         await server.start()
         # flush: the banner must reach a supervising process (pipe-buffered
         # stdout would otherwise hold it until the buffer fills).
+        tenants = f", tenants: {', '.join(registry.tenants())}" if registry is not None else ""
         print(
             f"serving on {server.host}:{server.port} "
-            "(one JSON request per line; Ctrl-C or SIGTERM to drain and stop)",
+            f"(one JSON request per line; Ctrl-C or SIGTERM to drain and stop{tenants})",
             flush=True,
         )
         # Graceful shutdown: SIGTERM/SIGINT stop *accepting* and then drain
@@ -315,9 +384,15 @@ def _cmd_loadgen(args) -> int:
         max_wait_ms=args.max_wait_ms,
         max_queue_depth=args.max_queue_depth,
         dispatch=args.dispatch,
+        n_tenants=args.tenants,
+        scenario=args.scenario,
+        tenant_quota=args.tenant_quota,
+        cache_budget_bytes=args.cache_budget_bytes,
+        swap_under_load=args.swap,
     )
     path = write_serving_file(args.profile, out_dir=args.out_dir, config=config)
-    results = json.loads(path.read_text())["results"]
+    payload = json.loads(path.read_text())
+    results = payload["results"]
     print(f"wrote {path}")
     print(
         f"microbatched {results['throughput_rps']:,.0f} rps vs sequential "
@@ -326,6 +401,20 @@ def _cmd_loadgen(args) -> int:
         f"{results['batches']['count']} batches, "
         f"{results['requests']['dropped']} dropped"
     )
+    if payload["workload"]["n_tenants"] > 1:
+        swap = results["swap"]
+        swapped = (
+            f"hot-swapped {swap['tenant']} v{swap['version_before']}→"
+            f"v{swap['version_after']} at availability {swap['availability']:.3f}"
+            if swap["performed"]
+            else "no swap"
+        )
+        print(
+            f"fleet: {payload['workload']['n_tenants']} tenants "
+            f"({payload['workload']['scenario']}), "
+            f"per-tenant bit-identity "
+            f"{payload['checks']['per_tenant_bit_identity']}, {swapped}"
+        )
     return 0
 
 
@@ -496,7 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--max-wait-ms",
-            type=float,
+            type=_positive_float,
             default=2.0,
             help="flush when the oldest request has waited this long",
         )
@@ -505,6 +594,19 @@ def build_parser() -> argparse.ArgumentParser:
             type=_positive_int,
             default=1_024,
             help="admission bound; beyond this, requests are rejected as overloaded",
+        )
+        p.add_argument(
+            "--tenant-quota",
+            type=_positive_int,
+            default=None,
+            help="per-tenant admission bound (fleet fairness); default: none",
+        )
+        p.add_argument(
+            "--cache-budget-bytes",
+            type=_positive_int,
+            default=None,
+            help="LRU byte budget for cached per-tenant table sets (fleet mode); "
+            "default: unlimited",
         )
         p.add_argument(
             "--dispatch",
@@ -518,6 +620,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve a model over newline-delimited JSON TCP with microbatching",
     )
     serve.add_argument("--model", help="saved .npz model (otherwise train on --application)")
+    serve.add_argument(
+        "--models",
+        nargs="+",
+        type=_tenant_model,
+        metavar="NAME=PATH",
+        help="fleet mode: serve several saved models keyed by tenant name "
+        "(requests route with a 'tenant' field; publish/list/evict ops enabled)",
+    )
     add_data_args(serve)
     serve.add_argument("--dim", type=int, default=2_000)
     serve.add_argument("--levels", type=int, default=4)
@@ -527,13 +637,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8752, help="0 binds an ephemeral port")
     serve.add_argument(
         "--deadline-ms",
-        type=float,
+        type=_positive_float,
         default=None,
         help="default per-request deadline; expired requests fail typed, pre-model",
     )
     serve.add_argument(
         "--scrub-interval",
-        type=float,
+        type=_nonnegative_float,
         default=0.25,
         help="seconds between idle integrity-scrub ticks (0 disables scrubbing)",
     )
@@ -547,14 +657,37 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--profile",
         default="full",
-        choices=["full", "smoke"],
-        help="workload: 'full' is the serving perf gate, 'smoke' a CI-sized run",
+        choices=["full", "smoke", "fleet-full", "fleet-smoke"],
+        help="workload: 'full' is the serving perf gate, 'smoke' a CI-sized run; "
+        "'fleet-*' run the multi-tenant bench (registry, mixed scenarios, "
+        "hot-swap under load)",
     )
     loadgen.add_argument(
         "--requests", type=_positive_int, default=2_000, help="total requests to issue"
     )
     loadgen.add_argument(
         "--concurrency", type=_positive_int, default=64, help="closed-loop workers"
+    )
+    loadgen.add_argument(
+        "--tenants",
+        type=_positive_int,
+        default=1,
+        help="serve this many independently-trained tenants through one "
+        "registry (>1 switches to the fleet bench)",
+    )
+    loadgen.add_argument(
+        "--scenario",
+        default="uniform",
+        # mirrors repro.serving.loadgen.SCENARIOS (kept literal: build_parser
+        # must not import the serving stack)
+        choices=["uniform", "heavy_tailed", "bursty", "mixed"],
+        help="tenant-mix shape for fleet runs",
+    )
+    loadgen.add_argument(
+        "--swap",
+        action="store_true",
+        help="hot-swap one tenant's model mid-run (fleet mode; the "
+        "availability-1.0 gate covers the swap)",
     )
     loadgen.add_argument("--out-dir", default=".", help="directory for BENCH_serving.json")
     add_microbatch_args(loadgen)

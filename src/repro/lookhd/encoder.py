@@ -147,19 +147,36 @@ class LookupEncoder:
         if self._prebound_backend_version != kernels.backend_version():
             self._prebound = _UNSET
             self._prebound_backend_version = kernels.backend_version()
-        if self._prebound is _UNSET:
+        # Single read, local return: a concurrent invalidate_prebound()
+        # (registry eviction releasing a tenant's tables mid-request) must
+        # never leak the _UNSET sentinel to a caller that already passed
+        # the check — it keeps the complete table, the next access rebuilds.
+        prebound = self._prebound
+        if prebound is _UNSET:
             if (
                 not self.bind_positions
                 or self.prebound_bytes_needed() > self.prebind_budget_bytes
             ):
-                self._prebound = None
+                prebound = None
             else:
                 table = self.lookup_table.table
-                self._prebound = (
+                prebound = (
                     table[np.newaxis, :, :]
                     * self.position_memory.vectors[:, np.newaxis, :].astype(table.dtype)
                 )
-        return self._prebound
+            self._prebound = prebound
+        return prebound
+
+    def prebound_bytes_held(self) -> int:
+        """Bytes actually held by the built pre-bound table (0 when unbuilt).
+
+        Unlike :meth:`prebound_bytes_needed` this reports live memory, so
+        the serving registry can account cached table sets against its
+        byte budget without forcing a build.
+        """
+        if self._prebound is _UNSET or self._prebound is None:
+            return 0
+        return int(self._prebound.nbytes)
 
     def invalidate_prebound(self) -> None:
         """Drop the pre-bound table so the next access rebuilds it.

@@ -145,15 +145,21 @@ class FusedInferenceEngine:
         """The ``(m, q^r, k)`` score table, rebuilt when the model changed."""
         if not self.enabled:
             return None
-        if self._score_table is None or self._built_version != self.model.version:
+        # Single read, local return: a concurrent invalidate() (registry
+        # eviction, hot-swap releasing a superseded record's tables) must
+        # never turn a mid-predict access into None — the caller keeps the
+        # complete table it resolved and the *next* access rebuilds.
+        table = self._score_table
+        if table is None or self._built_version != self.model.version:
             with telemetry.timer("inference.score_table.build_seconds"):
-                self._score_table = self._build()
+                table = self._build()
             telemetry.count(
                 "inference.score_table.builds",
                 trigger="initial" if self._built_version is None else "version_change",
             )
+            self._score_table = table
             self._built_version = self.model.version
-        return self._score_table
+        return table
 
     def invalidate(self) -> None:
         """Drop the built score table so the next access rebuilds it.

@@ -53,6 +53,7 @@ class OnlineLookHD:
         self.learning_rate = learning_rate
         self._model = np.zeros((self.n_classes, encoder.dim), dtype=np.float64)
         self.samples_seen = 0
+        self._snapshot: ClassModel | None = None
 
     def partial_fit(self, features: np.ndarray, labels: np.ndarray) -> None:
         """Consume a batch in one adaptive pass (order-dependent).
@@ -84,6 +85,12 @@ class OnlineLookHD:
                     self._model[rival] -= self.learning_rate * (rival_sim - own) * sample
                     rival_pushes.append(float(rival_sim - own))
             self.samples_seen += 1
+        if self._snapshot is not None:
+            # A live-served snapshot must track every online update: the
+            # refresh bumps its version counter, so any fused score table
+            # built over it (FusedInferenceEngine caches by model version)
+            # rebuilds on the next query instead of serving stale scores.
+            self._refresh_snapshot()
         telemetry.count("online.samples", batch.shape[0])
         telemetry.count("online.updates.applied", len(rival_pushes))
         telemetry.count("online.updates.skipped", batch.shape[0] - len(rival_pushes))
@@ -93,19 +100,32 @@ class OnlineLookHD:
                     "online.rival_push", magnitude, buckets=_RIVAL_PUSH_BUCKETS
                 )
 
+    def _refresh_snapshot(self) -> None:
+        assert self._snapshot is not None
+        peak = float(np.abs(self._model).max()) if self._model.size else 0.0
+        # Scale so rounding keeps ~3 significant digits per element.
+        scale = 1.0 if peak == 0.0 else 1000.0 / peak
+        self._snapshot.class_vectors = np.round(self._model * scale).astype(np.int64)
+        self._snapshot.mark_dirty()
+
     def class_model(self) -> ClassModel:
-        """Snapshot the adaptive weights as an (integer-scaled) ClassModel.
+        """The adaptive weights as a *live* (integer-scaled) ClassModel.
+
+        The returned model is a persistent view: every later
+        :meth:`partial_fit` refreshes its vectors in place and bumps its
+        ``version`` counter, so consumers that cache state derived from it
+        (a :class:`~repro.lookhd.inference.FusedInferenceEngine` score
+        table serving this learner live) detect the update through the
+        standard version-counter idiom instead of serving stale answers.
 
         An untrained (or degenerately all-zero) learner snapshots to an
         all-zero model with scale 1.0, not a ``1000 / 1e-12`` blow-up of
         numerical dust.
         """
-        model = ClassModel(self.n_classes, self.encoder.dim)
-        peak = float(np.abs(self._model).max()) if self._model.size else 0.0
-        # Scale so rounding keeps ~3 significant digits per element.
-        scale = 1.0 if peak == 0.0 else 1000.0 / peak
-        model.class_vectors = np.round(self._model * scale).astype(np.int64)
-        return model
+        if self._snapshot is None:
+            self._snapshot = ClassModel(self.n_classes, self.encoder.dim)
+            self._refresh_snapshot()
+        return self._snapshot
 
     def compressed(self, **kwargs) -> CompressedModel:
         """Compress the snapshot (same options as :class:`CompressedModel`)."""

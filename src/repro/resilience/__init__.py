@@ -22,7 +22,13 @@ Supervised worker respawn lives with the executor it supervises
 probes, graceful drain) in :mod:`repro.serving`.
 """
 
-from repro.resilience.integrity import IntegrityError, IntegrityGuard, RepairReport, Scrubber
+from repro.resilience.integrity import (
+    FleetScrubber,
+    IntegrityError,
+    IntegrityGuard,
+    RepairReport,
+    Scrubber,
+)
 from repro.resilience.retry import (
     Deadline,
     DeadlineExceededError,
@@ -39,6 +45,7 @@ __all__ = [
     "ChaosConfig",
     "Deadline",
     "DeadlineExceededError",
+    "FleetScrubber",
     "IntegrityError",
     "IntegrityGuard",
     "OVERHEAD_BUDGET",

@@ -59,7 +59,7 @@ import numpy as np
 from repro import telemetry
 from repro.utils.rng import derive_rng
 
-__all__ = ["IntegrityError", "IntegrityGuard", "RepairReport", "Scrubber"]
+__all__ = ["FleetScrubber", "IntegrityError", "IntegrityGuard", "RepairReport", "Scrubber"]
 
 #: Authoritative artifacts that :func:`LookHDClassifier.rebuild_from_counters`
 #: regenerates bit-identically (the compressed model and its keys are
@@ -151,6 +151,15 @@ class IntegrityGuard:
         therefore every lookup row family) is exercised.
     seed:
         Seed for the synthesised canaries (deterministic per guard).
+    include_derived:
+        When ``False``, the guard covers authoritative state only — no
+        derived-cache digests, no canaries.  Building (or even probing)
+        the derived specs *materialises* the pre-bound and score tables,
+        so a guard over an LRU-evicted fleet tenant must opt out or the
+        scrub loop would silently rebind every tenant the registry just
+        evicted, defeating the byte budget.  The
+        :class:`FleetScrubber` flips this per tenant as its binding
+        state changes.
     """
 
     def __init__(
@@ -160,12 +169,14 @@ class IntegrityGuard:
         n_canaries: int = 8,
         canary_features: np.ndarray | None = None,
         seed: int = 0,
+        include_derived: bool = True,
     ):
         if clf.encoder is None or clf.class_model is None:
             raise RuntimeError("IntegrityGuard requires a fitted classifier")
         if block_bytes <= 0:
             raise ValueError(f"block_bytes must be positive, got {block_bytes}")
         self.clf = clf
+        self.include_derived = bool(include_derived)
         self.block_bytes = int(block_bytes)
         self.degraded = False
         self.blocks_verified = 0
@@ -246,7 +257,7 @@ class IntegrityGuard:
                     None,
                     "authoritative",
                 )
-        if not clf.serve_reference:
+        if self.include_derived and not clf.serve_reference:
             if clf.encoder.prebound_table is not None:
                 specs["prebound_table"] = (
                     lambda: clf.encoder.prebound_table,
@@ -331,9 +342,15 @@ class IntegrityGuard:
         self._record_canaries()
 
     def _canary_answers_now(self) -> dict:
-        """Known-answer digests over the derived serving path, as of now."""
+        """Known-answer digests over the derived serving path, as of now.
+
+        Empty when derived coverage is off: even *running* a canary
+        encode would materialise the pre-bound table.
+        """
         clf = self.clf
         answers = {}
+        if not self.include_derived:
+            return answers
         encoded = clf.encoder.encode_many(self._canary_features)
         answers["prebound_table"] = hashlib.sha256(
             np.ascontiguousarray(encoded)
@@ -664,4 +681,147 @@ class Scrubber:
             "degraded": self.guard.degraded,
             "last_error": self.last_error,
             "last_repair": self.last_repair,
+        }
+
+
+class FleetScrubber:
+    """Scrubbing across every model in a :class:`~repro.serving.registry.ModelRegistry`.
+
+    One :meth:`tick` scrubs one tenant (round-robin over the registry's
+    current membership), so the fleet shares a single idle-time budget
+    the same way one model does — attach it to
+    :class:`~repro.serving.server.ServingServer` exactly like a
+    :class:`Scrubber` (same ``tick()``/``status()`` surface, same
+    never-raises contract).
+
+    Swap/eviction awareness — the part a naive per-model loop gets
+    wrong:
+
+    * Each tenant's :class:`IntegrityGuard` is keyed to the registry
+      *record* it was built over.  A hot-swap replaces the record, so
+      the next tick on that tenant discards the stale guard and builds
+      one over the new version — a swap mid-scrub is absorbed at the
+      next tick instead of raising false "geometry changed" alarms
+      against the retired model (whose in-flight batches it would also
+      have been scrubbing pointlessly).
+    * Guards over **unbound** tenants are built with
+      ``include_derived=False``: probing derived caches materialises
+      them, so a full guard would rebind every table set the LRU budget
+      just evicted.  When the tenant's binding state flips (eviction or
+      lazy rebind), the guard is rebuilt to match.
+
+    Tenants whose classifier the guard cannot cover (no quantizer /
+    counters surface) are skipped with a recorded ``last_error`` rather
+    than crashing the loop.
+    """
+
+    def __init__(
+        self,
+        registry,
+        blocks_per_tick: int = 8,
+        canary_every: int = 8,
+        auto_repair: bool = True,
+        enabled: bool = True,
+    ):
+        if blocks_per_tick <= 0:
+            raise ValueError(f"blocks_per_tick must be positive, got {blocks_per_tick}")
+        if canary_every <= 0:
+            raise ValueError(f"canary_every must be positive, got {canary_every}")
+        self.registry = registry
+        self.blocks_per_tick = int(blocks_per_tick)
+        self.canary_every = int(canary_every)
+        self.auto_repair = bool(auto_repair)
+        self.enabled = bool(enabled)
+        self.ticks = 0
+        self.guard_builds = 0
+        self.last_error: str | None = None
+        #: tenant -> (registry record the guard was built over, Scrubber)
+        self._scrubbers: dict[str, tuple[object, Scrubber]] = {}
+
+    def _scrubber_for(self, tenant: str) -> Scrubber:
+        record = self.registry.record(tenant)
+        cached = self._scrubbers.get(tenant)
+        if cached is not None:
+            cached_record, scrubber = cached
+            if (
+                cached_record is record
+                and scrubber.guard.include_derived == record.bound
+            ):
+                return scrubber
+        # New version (hot-swap), new tenant, or a binding flip: build a
+        # fresh guard matched to the record's current state.
+        guard = IntegrityGuard(record.classifier, include_derived=record.bound)
+        scrubber = Scrubber(
+            guard,
+            blocks_per_tick=self.blocks_per_tick,
+            canary_every=self.canary_every,
+            auto_repair=self.auto_repair,
+        )
+        self._scrubbers[tenant] = (record, scrubber)
+        self.guard_builds += 1
+        telemetry.count("resilience.fleet.guard_builds", tenant=tenant)
+        return scrubber
+
+    def tick(self) -> list[IntegrityError]:
+        """Scrub one tenant's next increment; never raises."""
+        if not self.enabled:
+            return []
+        self.ticks += 1
+        names = self.registry.tenants()
+        for stale in [t for t in self._scrubbers if t not in names]:
+            del self._scrubbers[stale]
+        if not names:
+            return []
+        tenant = names[(self.ticks - 1) % len(names)]
+        try:
+            return self._scrubber_for(tenant).tick()
+        except Exception as unexpected:  # pragma: no cover - defensive
+            # Same contract as Scrubber.tick: the scrub loop protects the
+            # fleet, it must not take it down.
+            self.last_error = f"fleet scrub failed for {tenant!r}: {unexpected!r}"
+            telemetry.count("resilience.scrub.tick_failures")
+            return []
+
+    def status(self) -> dict:
+        """Aggregate snapshot, same top-level shape as :meth:`Scrubber.status`.
+
+        ``degraded``/``errors_detected``/``repairs`` aggregate across the
+        fleet (any degraded tenant degrades the fleet's health), and the
+        per-tenant breakdown rides under ``"tenants"``.
+        """
+        tenants: dict[str, dict] = {}
+        degraded = False
+        errors_detected = repairs = blocks_verified = canary_checks = 0
+        last_error = self.last_error
+        last_repair = None
+        for tenant, (record, scrubber) in sorted(self._scrubbers.items()):
+            sub = scrubber.status()
+            tenants[tenant] = {
+                "version": record.version,
+                "bound": record.bound,
+                "derived_guarded": scrubber.guard.include_derived,
+                **sub,
+            }
+            degraded = degraded or sub["degraded"]
+            errors_detected += sub["errors_detected"]
+            repairs += sub["repairs"]
+            blocks_verified += sub["blocks_verified"]
+            canary_checks += sub["canary_checks"]
+            if sub["last_error"] is not None:
+                last_error = sub["last_error"]
+            if sub["last_repair"] is not None:
+                last_repair = sub["last_repair"]
+        return {
+            "enabled": self.enabled,
+            "auto_repair": self.auto_repair,
+            "ticks": self.ticks,
+            "guard_builds": self.guard_builds,
+            "blocks_verified": blocks_verified,
+            "canary_checks": canary_checks,
+            "errors_detected": errors_detected,
+            "repairs": repairs,
+            "degraded": degraded,
+            "last_error": last_error,
+            "last_repair": last_repair,
+            "tenants": tenants,
         }

@@ -12,8 +12,14 @@ overhead dominates any single-sample path.  This package closes that gap:
   and fans the results back out per request.  Admission control bounds the
   queue depth and rejects with a typed
   :class:`~repro.serving.service.ServiceOverloadedError`.
+* :class:`~repro.serving.registry.ModelRegistry` — named, versioned
+  model fleet with atomic zero-downtime hot-swap and an LRU table-set
+  cache under a byte budget.  Constructing the service over a registry
+  turns it multi-tenant: per-tenant queues and quotas, round-robin
+  flushing, dispatch-time model binding.
 * :class:`~repro.serving.server.ServingServer` — a newline-delimited-JSON
-  TCP front end over the service (``repro serve``).
+  TCP front end over the service (``repro serve``), with per-tenant
+  routing and ``publish``/``list``/``evict`` admin ops in fleet mode.
 * :mod:`~repro.serving.loadgen` — a closed-loop load generator
   (``repro loadgen``) that measures microbatched vs sequential throughput
   and writes a schema-validated ``BENCH_serving.json``.
@@ -28,10 +34,13 @@ run, and the service relies on the library-wide single-query/batch
 
 from repro.serving.loadgen import (
     DEFAULT_SERVING_WORKLOADS,
+    SCENARIOS,
     LoadgenConfig,
+    fleet_config,
     run_loadgen,
     write_serving_file,
 )
+from repro.serving.registry import ModelRecord, ModelRegistry, UnknownTenantError
 from repro.serving.schema import SERVING_SCHEMA_VERSION, validate_serving_payload
 from repro.serving.server import ServingServer
 from repro.serving.service import (
@@ -43,6 +52,7 @@ from repro.serving.service import (
     ServiceClosedError,
     ServiceOverloadedError,
     ServingError,
+    TenantOverloadedError,
 )
 
 __all__ = [
@@ -53,11 +63,17 @@ __all__ = [
     "InferenceService",
     "LoadgenConfig",
     "MicrobatchConfig",
+    "ModelRecord",
+    "ModelRegistry",
+    "SCENARIOS",
     "SERVING_SCHEMA_VERSION",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "ServingError",
     "ServingServer",
+    "TenantOverloadedError",
+    "UnknownTenantError",
+    "fleet_config",
     "run_loadgen",
     "validate_serving_payload",
     "write_serving_file",

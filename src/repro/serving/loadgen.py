@@ -27,7 +27,7 @@ import asyncio
 import json
 import platform
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
@@ -35,13 +35,23 @@ import numpy as np
 from repro import telemetry
 from repro.bench.workloads import BenchWorkload
 from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.serving.registry import ModelRegistry
 from repro.serving.schema import SERVING_SCHEMA_VERSION, validate_serving_payload
 from repro.serving.service import (
     InferenceService,
     MicrobatchConfig,
     ServiceOverloadedError,
 )
+from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
+
+#: Tenant-mix scenarios for fleet runs.  ``uniform`` spreads requests
+#: evenly; ``heavy_tailed`` draws tenants from a zipf-like 1/rank^1.5
+#: distribution (one hot tenant, a long cold tail); ``bursty`` assigns
+#: geometric-length runs of consecutive requests to one tenant at a time
+#: (the back-to-back burst pattern that stresses per-tenant fairness);
+#: ``mixed`` concatenates one third of each.
+SCENARIOS = ("uniform", "heavy_tailed", "bursty", "mixed")
 
 #: Serving workload profiles.  ``full`` is the acceptance-gate geometry —
 #: the paper's efficiency configuration (D=2000, q=4, r=5) — and ``smoke``
@@ -72,7 +82,16 @@ DEFAULT_SERVING_WORKLOADS = {
 
 @dataclass(frozen=True)
 class LoadgenConfig:
-    """Traffic shape plus the service knobs under test."""
+    """Traffic shape plus the service knobs under test.
+
+    ``n_tenants > 1`` switches the run into fleet mode: ``n_tenants``
+    independently-fitted models (same geometry, per-tenant seeds) are
+    published into a :class:`~repro.serving.registry.ModelRegistry`,
+    traffic is mixed across them per ``scenario``, and — with
+    ``swap_under_load`` — one tenant is hot-swapped to a freshly trained
+    (bit-identical) model halfway through the run, so the artifact's
+    availability and bit-identity gates cover the swap machinery itself.
+    """
 
     n_requests: int = 2_000
     concurrency: int = 64
@@ -80,16 +99,27 @@ class LoadgenConfig:
     max_wait_ms: float = 2.0
     max_queue_depth: int = 1_024
     dispatch: str = "inline"
+    n_tenants: int = 1
+    scenario: str = "uniform"
+    tenant_quota: int | None = None
+    cache_budget_bytes: int | None = None
+    swap_under_load: bool = False
 
     def __post_init__(self):
         check_positive_int(self.n_requests, "n_requests")
         check_positive_int(self.concurrency, "concurrency")
+        check_positive_int(self.n_tenants, "n_tenants")
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {SCENARIOS}"
+            )
 
     def microbatch(self) -> MicrobatchConfig:
         return MicrobatchConfig(
             max_batch=self.max_batch,
             max_wait_ms=self.max_wait_ms,
             max_queue_depth=self.max_queue_depth,
+            tenant_quota=self.tenant_quota,
             dispatch=self.dispatch,
         )
 
@@ -153,6 +183,288 @@ async def _drive(
     return predictions, latencies, elapsed, service
 
 
+# -- fleet (multi-tenant) runs -------------------------------------------------
+
+
+def _tenant_schedule(
+    n_requests: int, n_tenants: int, scenario: str, seed
+) -> np.ndarray:
+    """Deterministic per-request tenant assignment for a scenario."""
+    rng = derive_rng(seed, f"loadgen-schedule-{scenario}")
+    if scenario == "uniform":
+        return rng.integers(0, n_tenants, size=n_requests)
+    if scenario == "heavy_tailed":
+        weights = 1.0 / (1.0 + np.arange(n_tenants)) ** 1.5
+        return rng.choice(n_tenants, size=n_requests, p=weights / weights.sum())
+    if scenario == "bursty":
+        schedule = np.empty(n_requests, dtype=np.int64)
+        filled = 0
+        while filled < n_requests:
+            burst = min(int(rng.geometric(0.1)), n_requests - filled)
+            schedule[filled : filled + burst] = rng.integers(0, n_tenants)
+            filled += burst
+        return schedule
+    # "mixed": one third of each shape, concatenated — the bench gate's
+    # "mixed load" is literally all three patterns in one run.
+    thirds = np.array_split(np.arange(n_requests), 3)
+    parts = [
+        _tenant_schedule(len(part), n_tenants, kind, seed)
+        for part, kind in zip(thirds, ("uniform", "heavy_tailed", "bursty"))
+    ]
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+
+def _fit_fleet(
+    workload: BenchWorkload, n_tenants: int
+) -> tuple[list[str], dict[str, LookHDClassifier], dict[str, np.ndarray]]:
+    """One independently-seeded model + request pool per tenant."""
+    tenants = [f"tenant-{index}" for index in range(n_tenants)]
+    classifiers: dict[str, LookHDClassifier] = {}
+    pools: dict[str, np.ndarray] = {}
+    for index, tenant in enumerate(tenants):
+        tenant_workload = replace(
+            workload, name=f"{workload.name}-{tenant}", seed=workload.seed + index
+        )
+        data = tenant_workload.make_dataset()
+        classifiers[tenant] = _fit_classifier(tenant_workload, data)
+        pools[tenant] = np.asarray(data.test_features, dtype=np.float64)
+    return tenants, classifiers, pools
+
+
+async def _drive_fleet(
+    registry: ModelRegistry,
+    tenants: list[str],
+    schedule: np.ndarray,
+    requests: np.ndarray,
+    config: LoadgenConfig,
+    swap: dict | None,
+) -> tuple[np.ndarray, np.ndarray, float, InferenceService]:
+    """Closed-loop fleet traffic, optionally hot-swapping mid-run.
+
+    ``swap`` (when set) carries ``{"tenant", "classifier"}``: once half
+    the requests have completed, the replacement model is published from
+    a worker thread — table build off the loop, atomic flip — while the
+    closed loop keeps firing.  The swap dict is updated in place with
+    what happened, and every request must still succeed (that is the
+    availability-1.0 gate).
+    """
+    n = requests.shape[0]
+    predictions = np.full(n, -1, dtype=np.int64)
+    latencies = np.zeros(n, dtype=np.float64)
+    completed = 0
+    service = InferenceService(registry=registry, config=config.microbatch())
+    await service.start()
+    next_request = 0
+    swap_task: asyncio.Task | None = None
+
+    async def do_swap() -> None:
+        tenant = swap["tenant"]
+        swap["version_before"] = registry.record(tenant).version
+        swap["queue_depth_at_swap"] = service.queue_depth
+        record = await asyncio.get_running_loop().run_in_executor(
+            None, registry.publish, tenant, swap.pop("classifier")
+        )
+        swap["version_after"] = record.version
+        swap["performed"] = True
+
+    async def worker() -> None:
+        nonlocal next_request, completed, swap_task
+        while next_request < n:
+            index = next_request
+            next_request += 1
+            tenant = tenants[schedule[index]]
+            started = time.perf_counter()
+            while True:
+                try:
+                    predictions[index] = await service.predict(
+                        requests[index], tenant=tenant
+                    )
+                    break
+                except ServiceOverloadedError:
+                    # Global or per-tenant-quota backpressure: back off one
+                    # batch window and retry (closed-loop contract — every
+                    # request is eventually answered).
+                    await asyncio.sleep(config.max_wait_ms / 1_000.0)
+            latencies[index] = time.perf_counter() - started
+            completed += 1
+            if swap is not None and swap_task is None and completed >= n // 2:
+                swap_task = asyncio.get_running_loop().create_task(do_swap())
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(config.concurrency)))
+    elapsed = time.perf_counter() - started
+    if swap_task is not None:
+        await swap_task
+    await service.stop()
+    return predictions, latencies, elapsed, service
+
+
+def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
+    """Fleet twin of :func:`run_loadgen`: registry, mixed tenants, hot-swap.
+
+    The correctness story mirrors the single-model run, per tenant: each
+    tenant's requests are also answered by a sequential single-request
+    loop over *that tenant's* classifier (the bit-identity oracle).  The
+    swap replacement is trained from the same per-tenant workload
+    (identical config/seed/data), so bit-identity stays checkable across
+    the swap while the full publish/flip machinery runs under live load.
+    """
+    tenants, classifiers, pools = _fit_fleet(workload, config.n_tenants)
+    schedule = _tenant_schedule(
+        config.n_requests, config.n_tenants, config.scenario, workload.seed
+    )
+    # Per-request features: cycle each tenant's own test pool in its
+    # request order (deterministic given the schedule).
+    requests = np.empty((config.n_requests, workload.n_features), dtype=np.float64)
+    tenant_indices: dict[str, list[int]] = {tenant: [] for tenant in tenants}
+    for index, tenant_id in enumerate(schedule):
+        tenant = tenants[tenant_id]
+        pool = pools[tenant]
+        requests[index] = pool[len(tenant_indices[tenant]) % pool.shape[0]]
+        tenant_indices[tenant].append(index)
+
+    # Sequential per-tenant oracle (also warms each model's tables).
+    expected = np.full(config.n_requests, -1, dtype=np.int64)
+    started = time.perf_counter()
+    for tenant, indices in tenant_indices.items():
+        clf = classifiers[tenant]
+        for index in indices:
+            expected[index] = clf.predict(requests[index])
+    sequential_elapsed = time.perf_counter() - started
+
+    registry = ModelRegistry(cache_budget_bytes=config.cache_budget_bytes)
+    for tenant in tenants:
+        registry.publish(tenant, classifiers[tenant])
+
+    swap = None
+    if config.swap_under_load:
+        swap_tenant = tenants[0]
+        swap_workload = replace(
+            workload, name=f"{workload.name}-{swap_tenant}", seed=workload.seed
+        )
+        swap = {
+            "tenant": swap_tenant,
+            "performed": False,
+            # Same workload, same seed: the replacement is bit-identical,
+            # so the oracle holds across the flip.
+            "classifier": _fit_classifier(swap_workload, swap_workload.make_dataset()),
+        }
+
+    telemetry_registry = telemetry.MetricsRegistry(enabled=True)
+    with telemetry.activated(telemetry_registry):
+        predictions, latencies, elapsed, service = asyncio.run(
+            _drive_fleet(registry, tenants, schedule, requests, config, swap)
+        )
+
+    stats = service.request_stats()
+    throughput = config.n_requests / max(elapsed, 1e-12)
+    sequential_rps = config.n_requests / max(sequential_elapsed, 1e-12)
+    p50, p99 = (float(v) for v in np.percentile(latencies, (50.0, 99.0)))
+
+    fleet_tenants = {}
+    per_tenant_identity = True
+    for tenant in tenants:
+        indices = np.asarray(tenant_indices[tenant], dtype=np.int64)
+        match = bool(np.array_equal(predictions[indices], expected[indices]))
+        per_tenant_identity = per_tenant_identity and match
+        tenant_stats = stats["tenants"].get(tenant, {})
+        fleet_tenants[tenant] = {
+            "sent": int(indices.size),
+            "completed": int(tenant_stats.get("completed", 0)),
+            "rejected": int(tenant_stats.get("rejected", 0)),
+            "dropped": int(tenant_stats.get("dropped", 0)),
+            "match_single": match,
+        }
+
+    swap_block = {"performed": False}
+    swap_zero_downtime = True
+    if swap is not None:
+        availability = stats["completed"] / max(config.n_requests, 1)
+        swap_zero_downtime = bool(
+            swap["performed"]
+            and swap["version_after"] == swap["version_before"] + 1
+            and availability == 1.0
+            and stats["dropped"] == 0
+            and stats["failed"] == 0
+        )
+        swap_block = {
+            "performed": swap["performed"],
+            "tenant": swap["tenant"],
+            "version_before": swap["version_before"],
+            "version_after": swap["version_after"],
+            "queue_depth_at_swap": swap["queue_depth_at_swap"],
+            "availability": availability,
+        }
+
+    payload = {
+        "schema_version": SERVING_SCHEMA_VERSION,
+        "benchmark": "serving",
+        "workload": {
+            "name": f"{workload.name}-fleet{config.n_tenants}",
+            "dim": workload.dim,
+            "levels": workload.levels,
+            "chunk_size": workload.chunk_size,
+            "n_features": workload.n_features,
+            "n_classes": workload.n_classes,
+            "seed": workload.seed,
+            "n_requests": config.n_requests,
+            "concurrency": config.concurrency,
+            "n_tenants": config.n_tenants,
+            "scenario": config.scenario,
+        },
+        "service": {
+            "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms,
+            "max_queue_depth": config.max_queue_depth,
+            "tenant_quota": config.tenant_quota,
+            "cache_budget_bytes": config.cache_budget_bytes,
+            "fused_active": all(
+                clf.config.fused_inference and clf.fused_engine().enabled
+                for clf in classifiers.values()
+            ),
+        },
+        "results": {
+            "throughput_rps": throughput,
+            "sequential_rps": sequential_rps,
+            "speedup_vs_sequential": throughput / max(sequential_rps, 1e-12),
+            "elapsed_seconds": elapsed,
+            "sequential_elapsed_seconds": sequential_elapsed,
+            "latency_seconds": {
+                "p50": p50,
+                "p99": p99,
+                "mean": float(latencies.mean()),
+                "max": float(latencies.max()),
+            },
+            "batches": {
+                "count": stats["batches"],
+                "mean_size": stats["completed"] / max(stats["batches"], 1),
+                "max_size": service.max_batch_size,
+            },
+            "flush_reasons": dict(service.flush_reasons),
+            "requests": {
+                "sent": config.n_requests,
+                "completed": stats["completed"],
+                "rejected": stats["rejected"],
+                "dropped": stats["dropped"],
+            },
+            "fleet": {
+                "tenants": fleet_tenants,
+                "registry": registry.describe(),
+            },
+            "swap": swap_block,
+        },
+        "checks": {
+            "predictions_match_single": bool(np.array_equal(predictions, expected)),
+            "zero_dropped": stats["dropped"] == 0 and stats["failed"] == 0,
+            "per_tenant_bit_identity": bool(per_tenant_identity),
+            "swap_zero_downtime": swap_zero_downtime,
+        },
+        "environment": _environment(),
+        "telemetry": telemetry_registry.snapshot(),
+    }
+    return validate_serving_payload(payload)
+
+
 def run_loadgen(
     workload: BenchWorkload,
     config: LoadgenConfig | None = None,
@@ -161,8 +473,14 @@ def run_loadgen(
 
     Deterministic apart from wall-clock numbers: the workload is
     pinned-seed synthetic and the request stream cycles its test split.
+
+    ``config.n_tenants > 1`` routes to the fleet run (registry-backed
+    service, mixed-tenant traffic, optional hot-swap under load) — same
+    payload schema, plus the fleet/swap blocks and their gates.
     """
     config = config if config is not None else LoadgenConfig()
+    if config.n_tenants > 1:
+        return _run_fleet_loadgen(workload, config)
     data = workload.make_dataset()
     classifier = _fit_classifier(workload, data)
     test = np.asarray(data.test_features, dtype=np.float64)
@@ -205,6 +523,8 @@ def run_loadgen(
             "seed": workload.seed,
             "n_requests": config.n_requests,
             "concurrency": config.concurrency,
+            "n_tenants": 1,
+            "scenario": config.scenario,
         },
         "service": {
             "max_batch": config.max_batch,
@@ -249,18 +569,48 @@ def run_loadgen(
     return validate_serving_payload(payload)
 
 
+def fleet_config(profile: str, config: LoadgenConfig | None = None) -> LoadgenConfig:
+    """The default fleet shape for a ``fleet-*`` profile.
+
+    3 tenants (the bench gate's floor) under the ``mixed`` scenario, a
+    per-tenant quota at half the global bound (so quota backpressure is
+    actually exercised), and one hot-swap under load.  An explicit
+    ``config`` that already asks for tenants is passed through untouched.
+    """
+    if config is not None and config.n_tenants > 1:
+        return config
+    base = config if config is not None else LoadgenConfig()
+    smoke = profile.endswith("smoke")
+    return replace(
+        base,
+        n_requests=base.n_requests if config is not None else (360 if smoke else 3_000),
+        n_tenants=3,
+        scenario="mixed",
+        tenant_quota=max(1, base.max_queue_depth // 2),
+        swap_under_load=True,
+    )
+
+
 def write_serving_file(
     profile: str = "full",
     out_dir: str | Path = ".",
     config: LoadgenConfig | None = None,
 ) -> Path:
-    """Run a serving profile and write ``BENCH_serving.json``."""
+    """Run a serving profile and write ``BENCH_serving.json``.
+
+    ``fleet-full`` / ``fleet-smoke`` run the multi-tenant bench over the
+    corresponding base workload (see :func:`fleet_config`).
+    """
+    base_profile = profile
+    if profile.startswith("fleet-"):
+        base_profile = profile[len("fleet-") :]
+        config = fleet_config(profile, config)
     try:
-        workload = DEFAULT_SERVING_WORKLOADS[profile]
+        workload = DEFAULT_SERVING_WORKLOADS[base_profile]
     except KeyError:
         raise ValueError(
-            f"unknown serving profile {profile!r}; "
-            f"choose from {sorted(DEFAULT_SERVING_WORKLOADS)}"
+            f"unknown serving profile {profile!r}; choose from "
+            f"{sorted(DEFAULT_SERVING_WORKLOADS) + ['fleet-' + p for p in sorted(DEFAULT_SERVING_WORKLOADS)]}"
         ) from None
     payload = run_loadgen(workload, config)
     out_dir = Path(out_dir)

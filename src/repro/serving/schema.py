@@ -14,7 +14,7 @@ from numbers import Real
 
 from repro.telemetry.schema import validate_snapshot
 
-SERVING_SCHEMA_VERSION = 1
+SERVING_SCHEMA_VERSION = 2
 
 _WORKLOAD_INT_FIELDS = (
     "dim",
@@ -25,9 +25,11 @@ _WORKLOAD_INT_FIELDS = (
     "seed",
     "n_requests",
     "concurrency",
+    "n_tenants",
 )
 _LATENCY_FIELDS = ("p50", "p99", "mean", "max")
 _REQUEST_FIELDS = ("sent", "completed", "rejected", "dropped")
+_TENANT_COUNT_FIELDS = ("sent", "completed", "rejected", "dropped")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -46,6 +48,68 @@ def _check_count(value: object, message: str) -> None:
     _require(
         isinstance(value, int) and not isinstance(value, bool) and value >= 0,
         message,
+    )
+
+
+def _validate_fleet(results: dict, checks: dict, n_tenants: int, requests: dict) -> None:
+    """Fleet-mode gates: per-tenant balance + bit-identity, swap availability.
+
+    These are the multi-tenant acceptance criteria: every tenant's
+    request accounting must balance to zero dropped, every tenant's
+    microbatched predictions must be bit-identical to its single-model
+    sequential oracle, and a hot-swap performed under load must have
+    availability 1.0 (every request answered across the flip).
+    """
+    fleet = results.get("fleet")
+    _require(isinstance(fleet, dict), "fleet payloads must carry results.fleet")
+    tenants = fleet.get("tenants")
+    _require(
+        isinstance(tenants, dict) and len(tenants) == n_tenants,
+        f"results.fleet.tenants must describe all {n_tenants} tenants",
+    )
+    total_sent = 0
+    for tenant, stats in tenants.items():
+        _require(isinstance(tenant, str) and tenant, "tenant names must be strings")
+        _require(isinstance(stats, dict), f"fleet.tenants[{tenant!r}] must be an object")
+        for field in _TENANT_COUNT_FIELDS:
+            _check_count(
+                stats.get(field), f"fleet.tenants[{tenant!r}].{field} must be a count"
+            )
+        _require(
+            stats["dropped"] == 0, f"tenant {tenant!r} dropped admitted requests"
+        )
+        _require(
+            stats.get("match_single") is True,
+            f"tenant {tenant!r} predictions diverged from its single-model oracle",
+        )
+        total_sent += stats["sent"]
+    _require(
+        total_sent == requests["sent"],
+        "per-tenant sent counts must sum to requests.sent",
+    )
+    _require(isinstance(fleet.get("registry"), dict), "fleet.registry must be an object")
+
+    swap = results.get("swap")
+    _require(isinstance(swap, dict), "fleet payloads must carry results.swap")
+    _require(isinstance(swap.get("performed"), bool), "swap.performed must be a bool")
+    if swap["performed"]:
+        _require(
+            isinstance(swap.get("version_before"), int)
+            and isinstance(swap.get("version_after"), int)
+            and swap["version_after"] == swap["version_before"] + 1,
+            "a performed swap must bump the tenant version by exactly 1",
+        )
+        _require(
+            swap.get("availability") == 1.0,
+            "swap availability must be 1.0 (zero-downtime gate)",
+        )
+        _require(
+            checks.get("swap_zero_downtime") is True,
+            "checks.swap_zero_downtime must gate true for a performed swap",
+        )
+    _require(
+        checks.get("per_tenant_bit_identity") is True,
+        "checks.per_tenant_bit_identity must be true",
     )
 
 
@@ -130,6 +194,15 @@ def validate_serving_payload(payload: object) -> dict:
     )
     _require(checks.get("zero_dropped") is True, "admitted requests were dropped")
     _require(requests["dropped"] == 0, "requests.dropped must be 0")
+
+    n_tenants = workload["n_tenants"]
+    _require(n_tenants >= 1, "workload.n_tenants must be >= 1")
+    _require(
+        isinstance(workload.get("scenario"), str) and workload["scenario"],
+        "workload.scenario must be a non-empty string",
+    )
+    if n_tenants > 1:
+        _validate_fleet(results, checks, n_tenants, requests)
 
     environment = payload.get("environment")
     _require(isinstance(environment, dict), "environment must be an object")

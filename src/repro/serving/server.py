@@ -14,13 +14,37 @@ instead of a prediction: running state, queue depth, request accounting,
 and — when an integrity scrubber is attached — its status, including the
 last detected error and last repair.
 
+Fleet protocol (service constructed over a
+:class:`~repro.serving.registry.ModelRegistry`): a predict request adds
+a tenant name, and ``"x"`` is accepted as an alias for ``"features"``
+(the compact form fleet clients use):
+
+    → {"op": "predict", "tenant": "edge-7", "x": [0.1, 0.2, ...]}
+    ← {"id": null, "tenant": "edge-7", "prediction": 3}
+
+Admin ops (all answered on the same connection, interleaved with
+traffic):
+
+* ``{"op": "publish", "tenant": ..., "path": ...}`` — load a saved model
+  and hot-swap it in as the tenant's next version.  The load + table
+  build run in a worker thread, so in-flight predicts keep batching; the
+  version flip itself is atomic.  Answers ``{"tenant", "version",
+  "bound", "table_bytes"}``.
+* ``{"op": "list"}`` — the registry's fleet snapshot (per-tenant
+  version/binding plus cache-budget accounting).
+* ``{"op": "evict", "tenant": ...}`` — drop the tenant's cached table
+  set (the model stays registered; next hit rebuilds lazily).
+
 Error responses carry a machine-routable ``error`` code plus a
 human-readable ``detail``:
 
 * ``invalid`` — malformed JSON, missing/NaN features, wrong width
   (maps from ``ValueError``); the connection stays open.
 * ``overloaded`` — admission control rejected
-  (:class:`ServiceOverloadedError`); the client should back off and retry.
+  (:class:`ServiceOverloadedError`, including its per-tenant-quota
+  subclass); the client should back off and retry.
+* ``unknown_tenant`` — no model registered under the requested name
+  (:class:`~repro.serving.registry.UnknownTenantError`).
 * ``deadline`` — the request expired before its batch flushed
   (:class:`~repro.resilience.retry.DeadlineExceededError`); the model
   never ran for it.
@@ -45,7 +69,9 @@ import asyncio
 import json
 
 from repro import telemetry
+from repro.lookhd.persistence import ArtifactError, load_classifier
 from repro.resilience.retry import DeadlineExceededError
+from repro.serving.registry import UnknownTenantError
 from repro.serving.service import (
     InferenceService,
     ServiceClosedError,
@@ -159,7 +185,7 @@ class ServingServer:
         """Liveness snapshot served by the ``{"op": "health"}`` request."""
         scrub = self.scrubber.status() if self.scrubber is not None else None
         degraded = bool(scrub["degraded"]) if scrub is not None else False
-        return {
+        health = {
             "status": "degraded" if degraded else "ok",
             "running": self.service.running,
             "queue_depth": self.service.queue_depth,
@@ -167,6 +193,9 @@ class ServingServer:
             "cancelled": self.cancelled,
             "scrub": scrub,
         }
+        if self.service.registry is not None:
+            health["fleet"] = self.service.registry.describe()
+        return health
 
     # -- connection handling ---------------------------------------------------
 
@@ -226,6 +255,48 @@ class ServingServer:
                 # from logging a spurious traceback for a routine shutdown.
                 pass
 
+    # -- fleet admin ops -------------------------------------------------------
+
+    def _registry(self):
+        registry = self.service.registry
+        if registry is None:
+            raise ValueError(
+                "fleet ops require a registry-backed service; "
+                "start with `repro serve --models`"
+            )
+        return registry
+
+    @staticmethod
+    def _request_tenant(request: dict) -> str:
+        tenant = request.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError("request must carry a non-empty 'tenant' string")
+        return tenant
+
+    async def _publish(self, request: dict) -> dict:
+        """Hot-swap a tenant's model from a saved artifact, off the loop.
+
+        ``load_classifier`` + the fused table build are the expensive part
+        of a swap; both run in the default executor so the event loop —
+        and every in-flight batch — keeps serving the old version.  The
+        registry's internal lock makes the final version flip atomic with
+        respect to dispatch-time ``registry.get`` calls.
+        """
+        registry = self._registry()
+        tenant = self._request_tenant(request)
+        path = request.get("path")
+        if not isinstance(path, str) or not path:
+            raise ValueError("publish must carry a 'path' to a saved model")
+
+        def load_and_publish():
+            return registry.publish(tenant, load_classifier(path))
+
+        record = await asyncio.get_running_loop().run_in_executor(
+            None, load_and_publish
+        )
+        telemetry.count("serving.fleet.publishes", tenant=tenant)
+        return {"tenant": tenant, **record.describe()}
+
     async def _answer(self, line: bytes) -> dict:
         request_id = None
         try:
@@ -233,20 +304,39 @@ class ServingServer:
             if not isinstance(request, dict):
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
-            if request.get("op") == "health":
+            op = request.get("op", "predict")
+            if op == "health":
                 return {"id": request_id, **self.health()}
-            features = request.get("features")
+            if op == "list":
+                return {"id": request_id, "fleet": self._registry().describe()}
+            if op == "evict":
+                tenant = self._request_tenant(request)
+                released = self._registry().evict(tenant)
+                return {"id": request_id, "tenant": tenant, "released": released}
+            if op == "publish":
+                return {"id": request_id, **await self._publish(request)}
+            if op != "predict":
+                raise ValueError(f"unknown op {op!r}")
+            features = request.get("features", request.get("x"))
             if not isinstance(features, list):
-                raise ValueError("request must carry a 'features' list")
+                raise ValueError("request must carry a 'features' (or 'x') list")
+            tenant = request.get("tenant")
+            if tenant is not None and (not isinstance(tenant, str) or not tenant):
+                raise ValueError("'tenant' must be a non-empty string")
             prediction = await self.service.predict(
-                features, deadline_ms=request.get("deadline_ms")
+                features, deadline_ms=request.get("deadline_ms"), tenant=tenant
             )
+        except UnknownTenantError as error:
+            return {"id": request_id, "error": "unknown_tenant", "detail": str(error)}
         except ServiceOverloadedError as error:
             return {"id": request_id, "error": "overloaded", "detail": str(error)}
         except DeadlineExceededError as error:
             return {"id": request_id, "error": "deadline", "detail": str(error)}
         except ServiceClosedError as error:
             return {"id": request_id, "error": "closed", "detail": str(error)}
-        except (ValueError, TypeError, json.JSONDecodeError) as error:
+        except (ValueError, TypeError, json.JSONDecodeError, OSError, ArtifactError) as error:
             return {"id": request_id, "error": "invalid", "detail": str(error)}
-        return {"id": request_id, "prediction": int(prediction)}
+        response = {"id": request_id, "prediction": int(prediction)}
+        if tenant is not None:
+            response["tenant"] = tenant
+        return response

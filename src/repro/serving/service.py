@@ -30,6 +30,16 @@ are already waiting, ``predict`` raises
 (and every queued latency) grow without bound.  Callers — e.g. the TCP
 front end — translate it into an explicit "overloaded" response.
 
+Fleet mode: constructed over a
+:class:`~repro.serving.registry.ModelRegistry` instead of one
+classifier, the service routes each request by ``tenant`` name into a
+per-tenant FIFO, flushes round-robin across ready tenants (one hot
+tenant cannot starve the rest), enforces an optional per-tenant
+admission quota (:class:`TenantOverloadedError`) under the global bound,
+and binds each batch to its tenant's *current* model version at dispatch
+time — the hot-swap contract.  Single-model mode is the degenerate
+one-tenant case of the same machinery.
+
 Telemetry (through the process registry, off by default): queue-wait and
 end-to-end latency histograms, batch-size histogram, flush-reason
 counters, completion/rejection counters, and a per-batch predict timer.
@@ -88,6 +98,29 @@ class ServiceOverloadedError(ServingError):
         )
 
 
+class TenantOverloadedError(ServiceOverloadedError):
+    """Admission control rejected the request: *this tenant's* quota is full.
+
+    A subclass of :class:`ServiceOverloadedError` (same caller contract —
+    back off and retry) carrying the tenant so fleet clients can throttle
+    the offending stream instead of all of them.  The per-tenant quota is
+    the fairness half of admission control: one hot tenant exhausts its
+    own slots and gets bounced while the rest of the fleet keeps
+    admitting under the global bound.
+    """
+
+    def __init__(self, tenant: str, queue_depth: int, tenant_quota: int):
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+        self.max_queue_depth = tenant_quota
+        self.tenant_quota = tenant_quota
+        RuntimeError.__init__(
+            self,
+            f"tenant {tenant!r} overloaded: {queue_depth} requests already "
+            f"queued (tenant_quota={tenant_quota}); retry later",
+        )
+
+
 class ServiceClosedError(ServingError):
     """The service is not running (never started, or already stopped)."""
 
@@ -119,6 +152,13 @@ class MicrobatchConfig:
         the model runs, so an overloaded service sheds work it could no
         longer answer in time instead of computing answers nobody waits
         for.
+    tenant_quota:
+        Per-tenant admission bound: requests beyond this many waiting
+        *for one tenant* raise :class:`TenantOverloadedError` even while
+        the global queue has room, so a single hot tenant cannot occupy
+        every slot and starve the rest of the fleet.  ``None`` (default)
+        disables the quota — single-model deployments need only the
+        global bound.
     dispatch:
         Where the batched ``predict`` runs.  ``"inline"`` (default) calls
         it synchronously on the event loop: a fused batch costs a few
@@ -135,11 +175,19 @@ class MicrobatchConfig:
     max_wait_ms: float = 2.0
     max_queue_depth: int = 1_024
     deadline_ms: float | None = None
+    tenant_quota: int | None = None
     dispatch: str = "inline"
 
     def __post_init__(self):
         check_positive_int(self.max_batch, "max_batch")
         check_positive_int(self.max_queue_depth, "max_queue_depth")
+        if self.tenant_quota is not None:
+            check_positive_int(self.tenant_quota, "tenant_quota")
+            if self.tenant_quota > self.max_queue_depth:
+                raise ValueError(
+                    f"tenant_quota ({self.tenant_quota}) must be <= "
+                    f"max_queue_depth ({self.max_queue_depth})"
+                )
         if not self.max_wait_ms > 0:
             raise ValueError(f"max_wait_ms must be positive, got {self.max_wait_ms}")
         if self.deadline_ms is not None and not self.deadline_ms > 0:
@@ -192,30 +240,60 @@ class InferenceService:
         Expected feature width per request.  Defaults to the classifier's
         fitted encoder width; required only for models without an
         ``encoder`` attribute.
+    registry:
+        Fleet mode: a :class:`~repro.serving.registry.ModelRegistry`
+        instead of a single ``classifier`` (pass exactly one of the two).
+        Requests then carry a ``tenant`` name; the service keeps one FIFO
+        queue per tenant, flushes **round-robin across ready tenants** so
+        a hot tenant cannot starve the rest, and resolves each batch's
+        model *at dispatch time* through ``registry.get(tenant)`` — so a
+        hot-swap published mid-flight takes effect at the next batch
+        boundary while already-collected batches finish on the version
+        they resolved.  Per-request width validation uses the tenant's
+        registered width (tenants may differ).
 
     Lifecycle: ``await start()`` → ``await predict(...)`` (any number of
     concurrent awaiters) → ``await stop()`` (drains the queue, completing
     every admitted request).  Also usable as an async context manager.
     """
 
+    #: Queue key used for all requests in single-model mode.
+    DEFAULT_TENANT = "default"
+
     def __init__(
         self,
-        classifier,
+        classifier=None,
         config: MicrobatchConfig | None = None,
         n_features: int | None = None,
+        registry=None,
     ):
-        self.classifier = classifier
-        self.config = config if config is not None else MicrobatchConfig()
-        encoder = getattr(classifier, "encoder", None)
-        if n_features is not None:
-            self.n_features = check_positive_int(n_features, "n_features")
-        elif encoder is not None:
-            self.n_features = int(encoder.n_features)
-        else:
+        if (classifier is None) == (registry is None):
             raise ValueError(
-                "classifier exposes no fitted encoder; pass n_features explicitly"
+                "pass exactly one of classifier (single-model mode) or "
+                "registry (fleet mode)"
             )
-        self._queue: deque[_Request] = deque()
+        self.classifier = classifier
+        self.registry = registry
+        self.config = config if config is not None else MicrobatchConfig()
+        if registry is not None:
+            # Fleet mode: width is per tenant (from its registry record).
+            self.n_features = None
+        else:
+            encoder = getattr(classifier, "encoder", None)
+            if n_features is not None:
+                self.n_features = check_positive_int(n_features, "n_features")
+            elif encoder is not None:
+                self.n_features = int(encoder.n_features)
+            else:
+                raise ValueError(
+                    "classifier exposes no fitted encoder; pass n_features explicitly"
+                )
+        # One FIFO per tenant plus a round-robin ring of tenant names.
+        # Single-model mode is the one-tenant special case (DEFAULT_TENANT),
+        # so both modes run the identical collector.
+        self._queues: dict[str, deque[_Request]] = {}
+        self._rr: deque[str] = deque()
+        self._total_queued = 0
         self._wakeup = asyncio.Event()
         self._collector: asyncio.Task | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -230,7 +308,9 @@ class InferenceService:
         self.expired = 0
         self.batches = 0
         self.max_batch_size = 0
+        self.peak_queue_depth = 0
         self.flush_reasons: dict[str, int] = {}
+        self.tenant_stats: dict[str, dict[str, int]] = {}
         # Hot-path fast flag: expiry filtering at flush time only runs
         # once any request has carried a deadline, so deadline-free
         # deployments pay nothing for the feature.
@@ -244,8 +324,13 @@ class InferenceService:
 
     @property
     def queue_depth(self) -> int:
-        """Requests currently waiting for a batch slot."""
-        return len(self._queue)
+        """Requests currently waiting for a batch slot (all tenants)."""
+        return self._total_queued
+
+    def tenant_queue_depth(self, tenant: str) -> int:
+        """Requests currently waiting for one tenant."""
+        queue = self._queues.get(tenant)
+        return len(queue) if queue is not None else 0
 
     async def start(self) -> "InferenceService":
         """Start the collector task (idempotent while running)."""
@@ -279,16 +364,16 @@ class InferenceService:
 
     # -- request path ----------------------------------------------------------
 
-    def _validate(self, features: np.ndarray) -> np.ndarray:
+    def _validate(self, features: np.ndarray, n_features: int) -> np.ndarray:
         row = np.asarray(features, dtype=np.float64)
         if row.ndim != 1:
             raise ValueError(
                 f"a serving request is one 1-D sample, got shape {row.shape}; "
                 "batching is the service's job"
             )
-        if row.shape[0] != self.n_features:
+        if row.shape[0] != n_features:
             raise ValueError(
-                f"expected {self.n_features} features per request, got {row.shape[0]}"
+                f"expected {n_features} features per request, got {row.shape[0]}"
             )
         # Finiteness is checked batch-granular in _dispatch (one vectorised
         # np.isfinite over the stacked batch instead of ~2 µs per request
@@ -298,8 +383,89 @@ class InferenceService:
         # whole batch.
         return row
 
+    def _tenant_stats(self, tenant: str) -> dict[str, int]:
+        stats = self.tenant_stats.get(tenant)
+        if stats is None:
+            stats = self.tenant_stats[tenant] = {
+                "admitted": 0,
+                "completed": 0,
+                "rejected": 0,
+                "failed": 0,
+                "expired": 0,
+            }
+        return stats
+
+    def _resolve_tenant(self, tenant: str | None) -> tuple[str, int]:
+        """Admission-time routing: queue key + expected feature width.
+
+        Fleet mode resolves the tenant's *current* registry record for
+        width only — the model binding itself is deferred to dispatch
+        (see :meth:`_predict_batch`), so a hot-swap between admission and
+        flush serves the new version.  Unknown tenants raise the
+        registry's typed error here, before anything is queued.
+        """
+        if self.registry is None:
+            if tenant is not None and tenant != self.DEFAULT_TENANT:
+                raise ValueError(
+                    f"single-model service has no tenant {tenant!r}; "
+                    "construct with a ModelRegistry for fleet serving"
+                )
+            return self.DEFAULT_TENANT, self.n_features
+        if tenant is None:
+            tenant = self.DEFAULT_TENANT
+        if not isinstance(tenant, str):
+            raise ValueError(f"tenant must be a string, got {tenant!r}")
+        record = self.registry.record(tenant)  # raises UnknownTenantError
+        return tenant, record.n_features
+
+    def _admit(self, tenant: str, request: _Request) -> None:
+        """Atomically reserve a queue slot and enqueue, or raise.
+
+        Admission is **check-and-append in one synchronous critical
+        section** — no ``await`` can interleave between the depth check
+        and the append, and both bounds (global, per-tenant quota) are
+        tested against the counters the append itself updates.  This is
+        the invariant the boundary-concurrency regression test drives:
+        ``peak_queue_depth`` can never exceed ``max_queue_depth``, and no
+        tenant's queue can exceed ``tenant_quota``, no matter how many
+        coroutines submit in the same event-loop tick.
+        """
+        stats = self._tenant_stats(tenant)
+        if self._total_queued >= self.config.max_queue_depth:
+            self.rejected += 1
+            stats["rejected"] += 1
+            telemetry.count("serving.requests.rejected", reason="queue_full")
+            raise ServiceOverloadedError(
+                self._total_queued, self.config.max_queue_depth
+            )
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._rr.append(tenant)
+        quota = self.config.tenant_quota
+        if quota is not None and len(queue) >= quota:
+            self.rejected += 1
+            stats["rejected"] += 1
+            telemetry.count("serving.requests.rejected", reason="tenant_quota")
+            raise TenantOverloadedError(tenant, len(queue), quota)
+        queue.append(request)
+        self._total_queued += 1
+        self.admitted += 1
+        stats["admitted"] += 1
+        if self._total_queued > self.peak_queue_depth:
+            self.peak_queue_depth = self._total_queued
+        # Wake the collector only on the edges it cares about — the first
+        # queued request anywhere (starts the max_wait clock) and a
+        # tenant's batch filling.  Intermediate arrivals just queue, so
+        # the collector is not churned through a wakeup per request.
+        if self._total_queued == 1 or len(queue) >= self.config.max_batch:
+            self._wakeup.set()
+
     async def predict(
-        self, features: np.ndarray, deadline_ms: float | None = None
+        self,
+        features: np.ndarray,
+        deadline_ms: float | None = None,
+        tenant: str | None = None,
     ) -> np.int64:
         """Classify one sample; resolves when its batch has been served.
 
@@ -307,66 +473,91 @@ class InferenceService:
         the batch holding it has not flushed by then, the await fails
         with a typed
         :class:`~repro.resilience.retry.DeadlineExceededError` and the
-        model never runs for it.
+        model never runs for it.  ``tenant`` routes the request in fleet
+        mode (see the ``registry`` constructor parameter); single-model
+        services accept only the default tenant.
 
         Raises ``ValueError`` on malformed input (wrong shape/width,
-        NaN/inf), :class:`ServiceOverloadedError` when admission control
-        rejects, and :class:`ServiceClosedError` when the service is not
-        running.  Admitted requests always resolve (or carry the batch's
-        exception, or their deadline's) — never silently drop.
+        NaN/inf), :class:`ServiceOverloadedError` /
+        :class:`TenantOverloadedError` when admission control rejects,
+        :class:`~repro.serving.registry.UnknownTenantError` for an
+        unregistered tenant, and :class:`ServiceClosedError` when the
+        service is not running.  Admitted requests always resolve (or
+        carry the batch's exception, or their deadline's) — never
+        silently drop.
         """
         if not self._running:
             raise ServiceClosedError("service is not running; call start() first")
-        row = self._validate(features)
+        tenant, n_features = self._resolve_tenant(tenant)
+        row = self._validate(features, n_features)
         if deadline_ms is None:
             deadline_ms = self.config.deadline_ms
         elif not deadline_ms > 0:
             raise ValueError(f"deadline_ms must be positive, got {deadline_ms}")
-        if len(self._queue) >= self.config.max_queue_depth:
-            self.rejected += 1
-            telemetry.count("serving.requests.rejected", reason="queue_full")
-            raise ServiceOverloadedError(len(self._queue), self.config.max_queue_depth)
         now = time.perf_counter()
         deadline_at = None
         if deadline_ms is not None:
             deadline_at = now + deadline_ms / 1_000.0
             self._deadline_possible = True
         request = _Request(row, self._loop.create_future(), now, deadline_at)
-        self._queue.append(request)
-        self.admitted += 1
-        # Wake the collector only on the edges it cares about — the first
-        # request of a batch (starts the max_wait clock) and a full batch.
-        # Intermediate arrivals just queue, so the collector is not churned
-        # through a wakeup per request.
-        depth = len(self._queue)
-        if depth == 1 or depth >= self.config.max_batch:
-            self._wakeup.set()
+        self._admit(tenant, request)
         return await request.future
 
     # -- collector -------------------------------------------------------------
+
+    def _any_full(self) -> bool:
+        max_batch = self.config.max_batch
+        return any(len(q) >= max_batch for q in self._queues.values())
+
+    def _oldest_enqueued_at(self) -> float:
+        return min(q[0].enqueued_at for q in self._queues.values() if q)
+
+    def _choose_tenant(self, now: float, max_wait: float) -> tuple[str, str] | None:
+        """Pick the next tenant to flush, round-robin among the ready.
+
+        "Ready" means a full batch waiting, the tenant's oldest request
+        has aged past ``max_wait``, or the service is draining.  The ring
+        is scanned in rotation order and the chosen tenant moves to the
+        back, so when several tenants are ready at once (the hot-fleet
+        steady state) each gets one flush per cycle — a hot tenant's
+        always-full queue cannot monopolise the collector.
+        """
+        max_batch = self.config.max_batch
+        for _ in range(len(self._rr)):
+            tenant = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(tenant)
+            if not queue:
+                continue
+            if len(queue) >= max_batch:
+                return tenant, FLUSH_MAX_BATCH
+            if not self._running:
+                return tenant, FLUSH_DRAIN
+            if queue[0].enqueued_at + max_wait <= now:
+                return tenant, FLUSH_MAX_WAIT
+        return None
 
     async def _collect(self) -> None:
         max_wait = self.config.max_wait_ms / 1_000.0
         max_batch = self.config.max_batch
         while True:
-            if not self._queue:
+            if not self._total_queued:
                 if not self._running:
                     return
                 self._wakeup.clear()
                 # Re-check after clear: a request admitted (or a stop())
                 # between the check and the clear must not be missed.
-                if self._queue or not self._running:
+                if self._total_queued or not self._running:
                     continue
                 await self._wakeup.wait()
                 continue
-            # Oldest request in hand — collect until the batch fills or its
-            # deadline passes.  A stopping service flushes immediately.
-            # There is no await between checking the queue and waiting, so
-            # the edge-triggered wakeups from predict() cannot be lost.
-            deadline = self._queue[0].enqueued_at + max_wait
-            reason = FLUSH_MAX_WAIT
-            while len(self._queue) < max_batch and self._running:
-                remaining = deadline - time.perf_counter()
+            # Requests in hand — wait until some tenant's batch fills or
+            # the oldest request (across all tenants) ages past max_wait.
+            # A stopping service flushes immediately.  There is no await
+            # between checking the queues and waiting, so the
+            # edge-triggered wakeups from _admit() cannot be lost.
+            while self._running and not self._any_full():
+                remaining = self._oldest_enqueued_at() + max_wait - time.perf_counter()
                 if remaining <= 0:
                     break
                 self._wakeup.clear()
@@ -374,19 +565,32 @@ class InferenceService:
                     await asyncio.wait_for(self._wakeup.wait(), timeout=remaining)
                 except (asyncio.TimeoutError, TimeoutError):
                     break
-            if len(self._queue) >= max_batch:
-                reason = FLUSH_MAX_BATCH
-            elif not self._running:
-                reason = FLUSH_DRAIN
-            batch = [
-                self._queue.popleft()
-                for _ in range(min(max_batch, len(self._queue)))
-            ]
-            await self._dispatch(batch, reason)
+            now = time.perf_counter()
+            chosen = self._choose_tenant(now, max_wait)
+            if chosen is None:
+                # Woken with nothing ready yet (e.g. a fresh first request
+                # re-armed the clock); loop back and wait out its age.
+                continue
+            tenant, reason = chosen
+            queue = self._queues[tenant]
+            batch = [queue.popleft() for _ in range(min(max_batch, len(queue)))]
+            self._total_queued -= len(batch)
+            await self._dispatch(batch, reason, tenant)
 
-    def _predict_batch(self, features: np.ndarray) -> np.ndarray:
+    def _predict_batch(self, features: np.ndarray, tenant: str) -> np.ndarray:
+        # Dispatch-time binding: fleet mode resolves the tenant's *current*
+        # record here — inside the executor for dispatch="thread", so a
+        # lazy table rebuild after LRU eviction also runs off the event
+        # loop.  A batch that resolved the old record before a hot-swap
+        # finishes on it; the next batch picks up the new version.  This is
+        # the registry-level twin of FusedInferenceEngine's version-counter
+        # rebuild.
+        if self.registry is None:
+            classifier = self.classifier
+        else:
+            classifier = self.registry.get(tenant).classifier
         with telemetry.timer("serving.batch.predict_seconds"):
-            predictions = np.atleast_1d(self.classifier.predict(features))
+            predictions = np.atleast_1d(classifier.predict(features))
         return predictions.astype(np.int64, copy=False)
 
     @staticmethod
@@ -398,8 +602,9 @@ class InferenceService:
             name, LATENCY_BUCKETS, counts.tolist(), float(values.sum())
         )
 
-    async def _dispatch(self, batch: list[_Request], reason: str) -> None:
+    async def _dispatch(self, batch: list[_Request], reason: str, tenant: str) -> None:
         collected_at = time.perf_counter()
+        stats = self._tenant_stats(tenant)
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
         if len(batch) > self.max_batch_size:
             self.max_batch_size = len(batch)
@@ -411,6 +616,7 @@ class InferenceService:
             if not all(alive):
                 expired = [r for r, ok in zip(batch, alive) if not ok]
                 self.expired += len(expired)
+                stats["expired"] += len(expired)
                 telemetry.count("serving.requests.expired", len(expired))
                 for request in expired:
                     if not request.future.done():
@@ -442,6 +648,7 @@ class InferenceService:
             finite_rows = np.isfinite(features).all(axis=1)
             invalid = [r for r, ok in zip(batch, finite_rows) if not ok]
             self.failed += len(invalid)
+            stats["failed"] += len(invalid)
             telemetry.count(
                 "serving.requests.failed", len(invalid), reason="non_finite"
             )
@@ -461,13 +668,14 @@ class InferenceService:
                 enqueued_at = enqueued_at[finite_rows]
         try:
             if self.config.dispatch == "inline":
-                predictions = self._predict_batch(features)
+                predictions = self._predict_batch(features, tenant)
             else:
                 predictions = await asyncio.get_running_loop().run_in_executor(
-                    None, self._predict_batch, features
+                    None, self._predict_batch, features, tenant
                 )
         except Exception as error:  # noqa: BLE001 — forwarded per request
             self.failed += len(batch)
+            stats["failed"] += len(batch)
             telemetry.count(
                 "serving.requests.failed", len(batch), reason="predict_error"
             )
@@ -482,6 +690,7 @@ class InferenceService:
             if not request.future.done():
                 request.future.set_result(prediction)
         self.completed += len(batch)
+        stats["completed"] += len(batch)
         if instrumented:
             telemetry.count("serving.requests.completed", len(batch))
             self._merge_latency_histogram(
@@ -508,6 +717,21 @@ class InferenceService:
             - self.failed
             - self.expired,
             "batches": self.batches,
+            "peak_queue_depth": self.peak_queue_depth,
+            # Per-tenant request balance (single-model mode reports its one
+            # implicit tenant) — the fleet bench's per-tenant zero-dropped
+            # gate reads this.
+            "tenants": {
+                tenant: {
+                    **stats,
+                    "dropped": stats["admitted"]
+                    - stats["completed"]
+                    - stats["failed"]
+                    - stats["expired"],
+                    "queued": self.tenant_queue_depth(tenant),
+                }
+                for tenant, stats in sorted(self.tenant_stats.items())
+            },
             # Deployment introspection: which backend serves each kernel
             # primitive in this process (the compiled-path liveness check).
             "kernel_backends": kernels.active_backends(),

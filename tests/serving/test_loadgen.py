@@ -5,16 +5,20 @@ from __future__ import annotations
 import copy
 import json
 
+import numpy as np
 import pytest
 
 from repro.serving import (
     DEFAULT_SERVING_WORKLOADS,
+    SCENARIOS,
     LoadgenConfig,
     SERVING_SCHEMA_VERSION,
+    fleet_config,
     run_loadgen,
     validate_serving_payload,
     write_serving_file,
 )
+from repro.serving.loadgen import _tenant_schedule
 
 
 @pytest.fixture(scope="module")
@@ -102,3 +106,133 @@ def test_schema_rejects_corrupted_payloads(smoke_payload, mutate, message):
     mutate(corrupted)
     with pytest.raises(ValueError, match=message):
         validate_serving_payload(corrupted)
+
+
+# -- fleet (multi-tenant) runs -------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def fleet_payload():
+    return run_loadgen(
+        DEFAULT_SERVING_WORKLOADS["smoke"],
+        LoadgenConfig(
+            n_requests=240,
+            concurrency=16,
+            max_batch=16,
+            n_tenants=3,
+            scenario="mixed",
+            tenant_quota=512,
+            swap_under_load=True,
+        ),
+    )
+
+
+def test_fleet_payload_is_schema_valid(fleet_payload):
+    assert validate_serving_payload(fleet_payload) is fleet_payload
+    assert fleet_payload["workload"]["n_tenants"] == 3
+    assert fleet_payload["workload"]["scenario"] == "mixed"
+
+
+def test_fleet_gates_hold(fleet_payload):
+    checks = fleet_payload["checks"]
+    assert checks["predictions_match_single"] is True
+    assert checks["zero_dropped"] is True
+    assert checks["per_tenant_bit_identity"] is True
+    assert checks["swap_zero_downtime"] is True
+    tenants = fleet_payload["results"]["fleet"]["tenants"]
+    assert len(tenants) == 3
+    assert sum(t["sent"] for t in tenants.values()) == 240
+    for stats in tenants.values():
+        assert stats["dropped"] == 0
+        assert stats["match_single"] is True
+
+
+def test_fleet_swap_performed_with_full_availability(fleet_payload):
+    swap = fleet_payload["results"]["swap"]
+    assert swap["performed"] is True
+    assert swap["version_after"] == swap["version_before"] + 1
+    assert swap["availability"] == 1.0
+    registry = fleet_payload["results"]["fleet"]["registry"]
+    # 3 initial publishes + the hot-swap.
+    assert registry["publishes"] == 4
+    assert registry["tenants"][swap["tenant"]]["version"] == swap["version_after"]
+
+
+@pytest.mark.parametrize(
+    ("mutate", "message"),
+    [
+        (lambda p: p["results"].__delitem__("fleet"), "results.fleet"),
+        (
+            lambda p: next(iter(p["results"]["fleet"]["tenants"].values())).__setitem__(
+                "dropped", 1
+            ),
+            "dropped admitted requests",
+        ),
+        (
+            lambda p: next(iter(p["results"]["fleet"]["tenants"].values())).__setitem__(
+                "match_single", False
+            ),
+            "diverged",
+        ),
+        (
+            lambda p: p["checks"].__setitem__("per_tenant_bit_identity", False),
+            "per_tenant_bit_identity",
+        ),
+        (lambda p: p["results"]["swap"].__setitem__("availability", 0.99), "1.0"),
+        (
+            lambda p: p["results"]["swap"].__setitem__("version_after", 9),
+            "exactly 1",
+        ),
+        (
+            lambda p: p["results"]["fleet"]["tenants"].pop(
+                sorted(p["results"]["fleet"]["tenants"])[0]
+            ),
+            "all 3 tenants",
+        ),
+    ],
+)
+def test_schema_rejects_corrupted_fleet_payloads(fleet_payload, mutate, message):
+    corrupted = copy.deepcopy(fleet_payload)
+    mutate(corrupted)
+    with pytest.raises(ValueError, match=message):
+        validate_serving_payload(corrupted)
+
+
+def test_fleet_loadgen_config_validation():
+    with pytest.raises(ValueError, match="n_tenants"):
+        LoadgenConfig(n_tenants=0)
+    with pytest.raises(ValueError, match="scenario"):
+        LoadgenConfig(scenario="tsunami")
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_tenant_schedule_is_deterministic_and_covers(scenario):
+    first = _tenant_schedule(300, 3, scenario, seed=7)
+    second = _tenant_schedule(300, 3, scenario, seed=7)
+    np.testing.assert_array_equal(first, second)
+    assert first.shape == (300,)
+    assert first.min() >= 0 and first.max() <= 2
+    assert len(np.unique(first)) == 3  # every tenant sees traffic
+
+
+def test_heavy_tailed_schedule_skews_to_first_tenant():
+    schedule = _tenant_schedule(2_000, 4, "heavy_tailed", seed=7)
+    counts = np.bincount(schedule, minlength=4)
+    assert counts[0] > counts[1] > counts[3]
+
+
+def test_fleet_config_defaults_and_passthrough():
+    smoke = fleet_config("fleet-smoke")
+    assert smoke.n_tenants == 3
+    assert smoke.scenario == "mixed"
+    assert smoke.swap_under_load is True
+    assert smoke.tenant_quota == smoke.max_queue_depth // 2
+    assert fleet_config("fleet-full").n_requests > smoke.n_requests
+    # An explicit fleet config is passed through untouched.
+    explicit = LoadgenConfig(n_tenants=5, scenario="bursty")
+    assert fleet_config("fleet-smoke", explicit) is explicit
+    # A single-tenant config gets the fleet shape but keeps its knobs.
+    upgraded = fleet_config("fleet-smoke", LoadgenConfig(n_requests=90, max_batch=8))
+    assert upgraded.n_requests == 90
+    assert upgraded.max_batch == 8
+    assert upgraded.n_tenants == 3

@@ -1,0 +1,228 @@
+"""ModelRegistry semantics: versioned hot-swap, LRU byte budget, lazy rebind."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.serving import ModelRegistry, UnknownTenantError
+
+
+def _fit(dataset, seed):
+    clf = LookHDClassifier(LookHDConfig(dim=512, levels=4, chunk_size=4, seed=seed))
+    clf.fit(dataset.train_features, dataset.train_labels)
+    return clf
+
+
+@pytest.fixture(scope="module")
+def fleet(small_dataset):
+    """Three independently-seeded models with identical table geometry."""
+    return [_fit(small_dataset, seed) for seed in (3, 4, 5)]
+
+
+@pytest.fixture
+def queries(small_dataset):
+    return np.asarray(small_dataset.test_features, dtype=np.float64)[:16]
+
+
+def test_publish_versions_and_hot_swap(fleet):
+    registry = ModelRegistry()
+    first = registry.publish("acme", fleet[0])
+    assert first.version == 1
+    assert first.bound and first.table_bytes > 0
+    assert len(registry) == 1 and "acme" in registry
+
+    second = registry.publish("acme", fleet[1])
+    assert second.version == 2
+    assert registry.get("acme") is second
+    # The superseded record is not mutated into the new one — a consumer
+    # holding it keeps a consistent model — but its tables left the cache.
+    assert first.version == 1
+    assert not first.bound
+    assert registry.publishes == 2
+
+
+def test_unknown_tenant_is_typed(fleet):
+    registry = ModelRegistry()
+    registry.publish("alpha", fleet[0])
+    with pytest.raises(UnknownTenantError) as excinfo:
+        registry.get("nope")
+    error = excinfo.value
+    assert isinstance(error, KeyError)
+    assert error.tenant == "nope"
+    assert error.known == ["alpha"]
+    assert "alpha" in str(error)  # KeyError repr-quoting is overridden
+    for op in (registry.record, registry.evict, registry.remove):
+        with pytest.raises(UnknownTenantError):
+            op("nope")
+
+
+def test_publish_validation(fleet):
+    registry = ModelRegistry()
+    with pytest.raises(ValueError, match="non-empty string"):
+        registry.publish("", fleet[0])
+    with pytest.raises(ValueError, match="predict"):
+        registry.publish("t", object(), n_features=12)
+
+    class NoEncoder:
+        def predict(self, batch):  # pragma: no cover - never dispatched
+            return np.zeros(batch.shape[0], dtype=np.int64)
+
+    with pytest.raises(ValueError, match="n_features"):
+        registry.publish("t", NoEncoder())
+    record = registry.publish("t", NoEncoder(), n_features=12)
+    assert record.n_features == 12
+    # No cacheable tables: always "bound" at zero bytes.
+    assert record.bound and record.table_bytes == 0
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError, match="cache_budget_bytes"):
+        ModelRegistry(cache_budget_bytes=0)
+    with pytest.raises(ValueError, match="cache_budget_bytes"):
+        ModelRegistry(cache_budget_bytes=-1)
+
+
+def test_lru_eviction_exactly_at_budget(fleet):
+    bytes_each = fleet[0].warm_tables()
+    assert bytes_each > 0
+    # Exactly two table sets fit: the boundary case — at budget is kept,
+    # one byte past it evicts.
+    registry = ModelRegistry(cache_budget_bytes=2 * bytes_each)
+    registry.publish("t0", fleet[0])
+    registry.publish("t1", fleet[1])
+    assert registry.bound_bytes == 2 * bytes_each
+    assert registry.evictions == 0
+
+    registry.publish("t2", fleet[2])
+    assert registry.evictions == 1
+    assert not registry.record("t0").bound  # LRU victim
+    assert registry.record("t0").table_bytes == 0
+    assert registry.record("t1").bound
+    assert registry.record("t2").bound
+    assert registry.bound_bytes == 2 * bytes_each
+    # Eviction releases the classifier's actual memory, not just the books.
+    assert fleet[0].serving_table_bytes() == 0
+
+
+def test_lru_follows_serving_recency(fleet):
+    bytes_each = fleet[0].warm_tables()
+    registry = ModelRegistry(cache_budget_bytes=2 * bytes_each)
+    registry.publish("t0", fleet[0])
+    registry.publish("t1", fleet[1])
+    registry.get("t0")  # serve t0: t1 becomes least recently served
+    registry.publish("t2", fleet[2])
+    assert not registry.record("t1").bound
+    assert registry.record("t0").bound
+    assert registry.record("t2").bound
+
+
+def test_lazy_rebuild_is_bit_identical(fleet, queries):
+    expected = fleet[0].predict(queries)
+    bytes_each = fleet[0].warm_tables()
+    registry = ModelRegistry(cache_budget_bytes=bytes_each)
+    registry.publish("t0", fleet[0])
+    registry.publish("t1", fleet[1])  # evicts t0
+    assert not registry.record("t0").bound
+
+    record = registry.get("t0")  # serving-path resolve pays the rebuild
+    assert registry.lazy_rebuilds == 1
+    assert record.bound and record.table_bytes == bytes_each
+    assert not registry.record("t1").bound  # budget still holds
+    np.testing.assert_array_equal(record.classifier.predict(queries), expected)
+
+
+def test_over_budget_tenant_serves_unbound(fleet, queries):
+    expected = fleet[0].predict(queries)
+    bytes_each = fleet[0].warm_tables()
+    registry = ModelRegistry(cache_budget_bytes=bytes_each // 2)
+    record = registry.publish("t0", fleet[0])
+    # Its tables alone exceed the whole budget: registration succeeds,
+    # the tables are released, and the exact fallback paths serve.
+    assert not record.bound
+    assert registry.bound_bytes == 0
+    np.testing.assert_array_equal(
+        registry.get("t0").classifier.predict(queries), expected
+    )
+
+
+def test_hot_swap_atomic_under_concurrent_reads(small_dataset, fleet, queries):
+    """Readers racing a publisher always see a complete, correct record."""
+    expected = fleet[0].predict(queries)
+    # Same seed/config/data: replacements are bit-identical, so any
+    # divergence a reader observes is a torn swap, not a different model.
+    clone = _fit(small_dataset, 3)
+    registry = ModelRegistry()
+    registry.publish("t", fleet[0])
+
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def reader() -> None:
+        while not stop.is_set():
+            record = registry.get("t")
+            predictions = record.classifier.predict(queries)
+            if not np.array_equal(predictions, expected):
+                failures.append(f"diverged on version {record.version}")
+                return
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for model in (clone, fleet[0], clone, fleet[0]):
+            registry.publish("t", model)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+    assert not failures
+    assert registry.record("t").version == 5
+
+
+def test_evict_and_remove(fleet):
+    registry = ModelRegistry()
+    registry.publish("t", fleet[0])
+    assert registry.evict("t") is True
+    assert registry.evict("t") is False  # already unbound
+    assert not registry.record("t").bound
+    registry.remove("t")
+    assert "t" not in registry and len(registry) == 0
+
+
+def test_describe_snapshot_and_telemetry(fleet):
+    bytes_each = fleet[0].warm_tables()
+    with telemetry.enabled() as metrics:
+        registry = ModelRegistry(cache_budget_bytes=bytes_each)
+        registry.publish("t0", fleet[0])
+        registry.publish("t1", fleet[1])  # evicts t0
+        registry.get("t0")  # lazy rebuild (evicts t1)
+        snapshot = metrics.snapshot()
+
+    described = registry.describe()
+    assert sorted(described["tenants"]) == ["t0", "t1"]
+    assert described["tenants"]["t0"] == {
+        "version": 1,
+        "n_features": 40,
+        "bound": True,
+        "table_bytes": bytes_each,
+    }
+    assert described["cache_budget_bytes"] == bytes_each
+    assert described["bound_bytes"] == bytes_each
+    assert described["publishes"] == 2
+    assert described["evictions"] == 2
+    assert described["lazy_rebuilds"] == 1
+
+    counters = snapshot["counters"]
+    for prefix, total in (
+        ("serving.registry.publishes", 2),
+        ("serving.registry.evictions", 2),
+        ("serving.registry.lazy_rebuilds", 1),
+    ):
+        assert (
+            sum(v for name, v in counters.items() if name.startswith(prefix)) == total
+        )

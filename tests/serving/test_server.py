@@ -110,3 +110,123 @@ def test_port_property_requires_start(fitted_lookhd):
     server = ServingServer(InferenceService(fitted_lookhd))
     with pytest.raises(RuntimeError, match="not started"):
         server.port
+
+
+class TestFleetProtocol:
+    """Tenant routing + admin ops over a registry-backed service."""
+
+    @pytest.fixture
+    def registry(self, fitted_lookhd):
+        from repro.serving import ModelRegistry
+
+        fleet = ModelRegistry()
+        fleet.publish("edge-7", fitted_lookhd)
+        return fleet
+
+    def test_tenant_predict_and_x_alias(self, registry, fitted_lookhd, small_dataset):
+        query = np.asarray(small_dataset.test_features, dtype=np.float64)[0]
+        expected = int(fitted_lookhd.predict(query))
+
+        async def drive():
+            service = InferenceService(
+                registry=registry, config=MicrobatchConfig(max_wait_ms=5.0)
+            )
+            async with ServingServer(service, port=0) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                verbose = await _request(
+                    reader,
+                    writer,
+                    {"id": 0, "op": "predict", "tenant": "edge-7",
+                     "features": query.tolist()},
+                )
+                compact = await _request(
+                    reader, writer, {"id": 1, "tenant": "edge-7", "x": query.tolist()}
+                )
+                unknown = await _request(
+                    reader, writer, {"id": 2, "tenant": "ghost", "x": query.tolist()}
+                )
+                bad_tenant = await _request(
+                    reader, writer, {"id": 3, "tenant": 7, "x": query.tolist()}
+                )
+                writer.close()
+                await writer.wait_closed()
+            return verbose, compact, unknown, bad_tenant
+
+        verbose, compact, unknown, bad_tenant = asyncio.run(drive())
+        assert verbose == {"id": 0, "prediction": expected, "tenant": "edge-7"}
+        assert compact == {"id": 1, "prediction": expected, "tenant": "edge-7"}
+        assert unknown["error"] == "unknown_tenant" and "edge-7" in unknown["detail"]
+        assert bad_tenant["error"] == "invalid"
+
+    def test_admin_ops_publish_list_evict(
+        self, registry, fitted_lookhd, small_dataset, tmp_path
+    ):
+        from repro.lookhd.persistence import save_classifier
+
+        query = np.asarray(small_dataset.test_features, dtype=np.float64)[0]
+        expected = int(fitted_lookhd.predict(query))
+        model_path = str(save_classifier(fitted_lookhd, tmp_path / "edge7.npz"))
+
+        async def drive():
+            service = InferenceService(
+                registry=registry, config=MicrobatchConfig(max_wait_ms=5.0)
+            )
+            async with ServingServer(service, port=0) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                listed = await _request(reader, writer, {"id": 0, "op": "list"})
+                published = await _request(
+                    reader,
+                    writer,
+                    {"id": 1, "op": "publish", "tenant": "edge-7",
+                     "path": model_path},
+                )
+                served = await _request(
+                    reader, writer, {"id": 2, "tenant": "edge-7", "x": query.tolist()}
+                )
+                evicted = await _request(
+                    reader, writer, {"id": 3, "op": "evict", "tenant": "edge-7"}
+                )
+                # An evicted tenant still serves (lazy rebuild, bit-identical).
+                after_evict = await _request(
+                    reader, writer, {"id": 4, "tenant": "edge-7", "x": query.tolist()}
+                )
+                bad_path = await _request(
+                    reader,
+                    writer,
+                    {"id": 5, "op": "publish", "tenant": "edge-7",
+                     "path": str(tmp_path / "missing.npz")},
+                )
+                health = await _request(reader, writer, {"id": 6, "op": "health"})
+                writer.close()
+                await writer.wait_closed()
+            return listed, published, served, evicted, after_evict, bad_path, health
+
+        listed, published, served, evicted, after_evict, bad_path, health = (
+            asyncio.run(drive())
+        )
+        assert listed["fleet"]["tenants"]["edge-7"]["version"] == 1
+        assert published["tenant"] == "edge-7" and published["version"] == 2
+        assert published["bound"] is True and published["table_bytes"] > 0
+        assert served["prediction"] == expected  # same artifact: bit-identical
+        assert evicted == {"id": 3, "tenant": "edge-7", "released": True}
+        assert after_evict["prediction"] == expected
+        assert bad_path["error"] == "invalid"
+        assert health["fleet"]["tenants"]["edge-7"]["version"] == 2
+        assert health["fleet"]["publishes"] == 2
+
+    def test_admin_ops_require_registry(self, fitted_lookhd):
+        async def drive():
+            service = InferenceService(
+                fitted_lookhd, MicrobatchConfig(max_wait_ms=5.0)
+            )
+            async with ServingServer(service, port=0) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                response = await _request(reader, writer, {"id": 0, "op": "list"})
+                unknown_op = await _request(reader, writer, {"id": 1, "op": "dance"})
+                writer.close()
+                await writer.wait_closed()
+            return response, unknown_op
+
+        response, unknown_op = asyncio.run(drive())
+        assert response["error"] == "invalid" and "--models" in response["detail"]
+        assert unknown_op["error"] == "invalid" and "dance" in unknown_op["detail"]

@@ -178,3 +178,78 @@ class TestServingCommands:
             json.loads((tmp_path / "BENCH_serving.json").read_text())
         )
         assert payload["results"]["requests"]["sent"] == 200
+
+    def test_loadgen_fleet_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.tenants == 1
+        assert args.scenario == "uniform"
+        assert args.swap is False
+        assert args.tenant_quota is None
+        assert args.cache_budget_bytes is None
+        fleet = build_parser().parse_args(
+            ["loadgen", "--profile", "fleet-smoke", "--tenants", "3",
+             "--scenario", "bursty", "--swap"]
+        )
+        assert fleet.profile == "fleet-smoke"
+        assert fleet.tenants == 3 and fleet.scenario == "bursty" and fleet.swap
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--deadline-ms", "0"],
+            ["serve", "--deadline-ms", "-5"],
+            ["serve", "--scrub-interval", "-1"],
+            ["serve", "--models", "edge7"],  # missing =PATH
+            ["serve", "--models", "=model.npz"],  # empty tenant name
+            ["serve", "--tenant-quota", "0"],
+            ["serve", "--cache-budget-bytes", "0"],
+            ["serve", "--max-wait-ms", "0"],
+            ["loadgen", "--tenants", "0"],
+            ["loadgen", "--scenario", "tsunami"],
+            ["loadgen", "--max-wait-ms", "nope"],
+        ],
+    )
+    def test_bad_flag_values_fail_at_parse_time(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_serve_flag_parsing(self):
+        args = build_parser().parse_args(
+            ["serve", "--models", "edge-7=a.npz", "camera=b.npz",
+             "--deadline-ms", "12.5", "--scrub-interval", "0",
+             "--tenant-quota", "8", "--cache-budget-bytes", "65536"]
+        )
+        assert args.models == [("edge-7", "a.npz"), ("camera", "b.npz")]
+        assert args.deadline_ms == 12.5
+        assert args.scrub_interval == 0.0
+        assert args.tenant_quota == 8
+        assert args.cache_budget_bytes == 65_536
+
+    def test_serve_rejects_model_and_models_together(self, tmp_path, capsys):
+        status = main(
+            ["serve", "--model", "a.npz", "--models", "edge-7=b.npz"]
+        )
+        assert status == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_loadgen_fleet_smoke_writes_valid_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.serving import validate_serving_payload
+
+        status = main(
+            ["loadgen", "--profile", "fleet-smoke", "--requests", "120",
+             "--concurrency", "16", "--max-batch", "16",
+             "--out-dir", str(tmp_path)]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fleet: 3 tenants (mixed)" in out
+        assert "hot-swapped tenant-0 v1→v2 at availability 1.000" in out
+        payload = validate_serving_payload(
+            json.loads((tmp_path / "BENCH_serving.json").read_text())
+        )
+        assert payload["workload"]["n_tenants"] == 3
+        assert payload["results"]["requests"]["sent"] == 120
+        assert payload["checks"]["per_tenant_bit_identity"] is True
+        assert payload["checks"]["swap_zero_downtime"] is True

@@ -124,6 +124,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _decay_float(text: str) -> float:
+    """Parse-time bound for forgetting factors: must lie in ``(0, 1]``."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"must be a number, got {text!r}") from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {value}")
+    return value
+
+
 def _nonnegative_float(text: str) -> float:
     """Parse-time bound for float flags where 0 means "disabled"."""
     try:
@@ -332,6 +343,7 @@ def _cmd_serve(args) -> int:
             port=args.port,
             scrubber=scrubber,
             scrub_interval=args.scrub_interval if scrubber is not None else 0.25,
+            allow_partial_fit=args.partial_fit,
         )
         await server.start()
         # flush: the banner must reach a supervising process (pipe-buffered
@@ -415,6 +427,39 @@ def _cmd_loadgen(args) -> int:
             f"per-tenant bit-identity "
             f"{payload['checks']['per_tenant_bit_identity']}, {swapped}"
         )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    import json
+
+    from repro.streaming import STREAM_PROFILES, write_streaming_file
+    from repro.streaming.bench import override_config
+
+    config = override_config(
+        STREAM_PROFILES[args.profile],
+        n_batches=args.batches,
+        batch_size=args.batch_size,
+        decay=args.decay,
+        sketch_capacity=args.sketch_capacity,
+    )
+    path = write_streaming_file(args.profile, out_dir=args.out_dir, config=config)
+    payload = json.loads(path.read_text())
+    abrupt = payload["modes"]["abrupt"]
+    serving = payload["serving"]
+    print(f"wrote {path}")
+    print(
+        f"abrupt drift: streaming tail accuracy "
+        f"{abrupt['streaming_tail_accuracy']:.3f} vs full-pass oracle "
+        f"{abrupt['oracle_tail_accuracy']:.3f} (gap {abrupt['recovery_gap']:+.4f})"
+    )
+    print(
+        f"boundary divergence {abrupt['boundary_divergence']:.4f} "
+        f"<= sketch bound {abrupt['divergence_bound']:.4f}; "
+        f"serving: {serving['updates']} live updates, "
+        f"{serving['predicts']} interleaved predicts, "
+        f"{serving['dropped']} dropped"
+    )
     return 0
 
 
@@ -647,6 +692,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.25,
         help="seconds between idle integrity-scrub ticks (0 disables scrubbing)",
     )
+    serve.add_argument(
+        "--partial-fit",
+        action="store_true",
+        help="enable the partial_fit op: labelled batches over the wire "
+        "update the served model live (requires an online-capable model)",
+    )
     add_microbatch_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -692,6 +743,38 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--out-dir", default=".", help="directory for BENCH_serving.json")
     add_microbatch_args(loadgen)
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    stream = sub.add_parser(
+        "stream",
+        help="drift-recovery bench: streaming quantizer + decayed online "
+        "learner vs a full-pass oracle; writes BENCH_streaming.json",
+    )
+    stream.add_argument(
+        "--profile",
+        default="full",
+        choices=["full", "smoke"],
+        help="'full' is the drift-recovery gate, 'smoke' a CI-sized run",
+    )
+    stream.add_argument(
+        "--batches", type=_positive_int, default=None, help="override stream length"
+    )
+    stream.add_argument(
+        "--batch-size", type=_positive_int, default=None, help="override samples per batch"
+    )
+    stream.add_argument(
+        "--decay",
+        type=_decay_float,
+        default=None,
+        help="per-sample forgetting factor in (0, 1]; 1 keeps all history",
+    )
+    stream.add_argument(
+        "--sketch-capacity",
+        type=_positive_int,
+        default=None,
+        help="quantile-sketch compactor capacity (rank error shrinks as 1/k)",
+    )
+    stream.add_argument("--out-dir", default=".", help="directory for BENCH_streaming.json")
+    stream.set_defaults(func=_cmd_stream)
 
     lister = sub.add_parser("list", help="list applications and experiments")
     lister.set_defaults(func=_cmd_list)

@@ -17,6 +17,10 @@ from repro.datasets.synthetic import SyntheticSpec
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_in_range, check_positive_int
 
+#: Exponent clamp for the log-normal skew map: exp(±700) stays finite in
+#: float64 (overflow starts at ~709.8) with headroom for rounding.
+_SKEW_EXP_LIMIT = 700.0
+
 
 @dataclass(frozen=True)
 class DriftBatch:
@@ -81,7 +85,14 @@ def drifting_stream(
         latent = centroids[labels] + noise_std * stream_rng.standard_normal(
             (batch_size, spec.n_features)
         )
-        observed = np.exp(spec.skew * latent) if spec.skew > 0 else latent
+        if spec.skew > 0:
+            # Large drift_magnitude pushes centroids far enough that the
+            # log-normal skew map would overflow float64 (exp(>709) = inf)
+            # and poison every downstream finiteness gate; clamp the
+            # exponent well inside the representable range.
+            observed = np.exp(np.clip(spec.skew * latent, -_SKEW_EXP_LIMIT, _SKEW_EXP_LIMIT))
+        else:
+            observed = latent
         batches.append(
             DriftBatch(
                 step=step,

@@ -92,10 +92,32 @@ class LookupEncoder:
         )
         self._prebound = _UNSET
         self._prebound_backend_version = kernels.backend_version()
+        self._quantizer_version = quantizer.version
 
     @property
     def n_features(self) -> int:
         return self.layout.n_features
+
+    @property
+    def encoding_version(self) -> int:
+        """Version of the value → address map this encoder realises.
+
+        Tracks :attr:`Quantizer.version`: when a streaming quantizer
+        refreshes its boundaries, the *meaning* of every chunk address
+        shifts, so anything cached against addresses produced earlier is
+        stale.  Reading this property syncs the encoder — the pre-bound
+        table is dropped on a version change (conservative: its values do
+        not embed boundaries, but dropping it puts every boundary move
+        through one rebuild path) — and consumers such as
+        :class:`~repro.lookhd.inference.FusedInferenceEngine` key their
+        fused score tables to the returned counter, mirroring how
+        ``model.version`` keys the class-model side.
+        """
+        version = self.quantizer.version
+        if version != self._quantizer_version:
+            self._quantizer_version = version
+            self.invalidate_prebound()
+        return version
 
     def __getstate__(self) -> dict:
         # The pre-bound table is a pure cache of table × positions; drop it
@@ -147,6 +169,7 @@ class LookupEncoder:
         if self._prebound_backend_version != kernels.backend_version():
             self._prebound = _UNSET
             self._prebound_backend_version = kernels.backend_version()
+        self.encoding_version  # sync against quantizer boundary moves
         # Single read, local return: a concurrent invalidate_prebound()
         # (registry eviction releasing a tenant's tables mid-request) must
         # never leak the _UNSET sentinel to a caller that already passed

@@ -27,7 +27,10 @@ engine records the model's ``version`` counter at build time and
 transparently rebuilds when it changes, so
 :meth:`~repro.lookhd.classifier.LookHDClassifier.fit` →
 ``retrain_update`` → ``predict`` sequences stay exact without manual
-cache management.
+cache management.  The encoder's ``encoding_version`` (bumped when a
+streaming quantizer moves its boundaries) is tracked the same way, so
+boundary refreshes can never serve a table keyed to a stale value →
+address map.
 """
 
 from __future__ import annotations
@@ -92,6 +95,7 @@ class FusedInferenceEngine:
         self.n_classes = model.n_classes
         self._score_table: np.ndarray | None = None
         self._built_version: int | None = None
+        self._built_encoding_version: int | None = None
         #: Human-readable reason the last fallback happened (``None`` while
         #: the fused path is serving).  Queryable by monitoring code.
         self.fallback_reason: str | None = None
@@ -150,7 +154,12 @@ class FusedInferenceEngine:
         # never turn a mid-predict access into None — the caller keeps the
         # complete table it resolved and the *next* access rebuilds.
         table = self._score_table
-        if table is None or self._built_version != self.model.version:
+        encoding_version = self.encoder.encoding_version
+        if (
+            table is None
+            or self._built_version != self.model.version
+            or self._built_encoding_version != encoding_version
+        ):
             with telemetry.timer("inference.score_table.build_seconds"):
                 table = self._build()
             telemetry.count(
@@ -159,6 +168,7 @@ class FusedInferenceEngine:
             )
             self._score_table = table
             self._built_version = self.model.version
+            self._built_encoding_version = encoding_version
         return table
 
     def invalidate(self) -> None:
@@ -172,6 +182,7 @@ class FusedInferenceEngine:
         """
         self._score_table = None
         self._built_version = None
+        self._built_encoding_version = None
         telemetry.count("inference.score_table.invalidations")
 
     def _build(self) -> np.ndarray:

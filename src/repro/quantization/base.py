@@ -22,11 +22,25 @@ class Quantizer(abc.ABC):
     def __init__(self, levels: int):
         self.levels = check_positive_int(levels, "levels")
         self._fitted = False
+        self._version = 0
 
     @property
     def fitted(self) -> bool:
         """Whether :meth:`fit` has been called."""
         return self._fitted
+
+    @property
+    def version(self) -> int:
+        """Monotonic boundary version, bumped whenever boundaries (re)learn.
+
+        Consumers that cache state whose *semantics* depend on the raw
+        value → level map — the encoder's pre-bound table, a fused score
+        table addressed by quantized chunks — key their caches to this
+        counter (the library-wide version-counter idiom), so a streaming
+        quantizer refreshing its boundaries mid-serving can never leave a
+        stale cache serving the old value→address map.
+        """
+        return self._version
 
     @property
     def bits(self) -> int:
@@ -41,6 +55,7 @@ class Quantizer(abc.ABC):
         check_finite(values, "training values")
         self._fit(values.ravel())
         self._fitted = True
+        self._version += 1
         return self
 
     def transform(self, values: np.ndarray) -> np.ndarray:

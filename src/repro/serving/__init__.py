@@ -47,12 +47,14 @@ from repro.serving.service import (
     FLUSH_DRAIN,
     FLUSH_MAX_BATCH,
     FLUSH_MAX_WAIT,
+    FLUSH_UPDATE,
     InferenceService,
     MicrobatchConfig,
     ServiceClosedError,
     ServiceOverloadedError,
     ServingError,
     TenantOverloadedError,
+    UpdateNotSupportedError,
 )
 
 __all__ = [
@@ -60,6 +62,7 @@ __all__ = [
     "FLUSH_DRAIN",
     "FLUSH_MAX_BATCH",
     "FLUSH_MAX_WAIT",
+    "FLUSH_UPDATE",
     "InferenceService",
     "LoadgenConfig",
     "MicrobatchConfig",
@@ -73,6 +76,7 @@ __all__ = [
     "ServingServer",
     "TenantOverloadedError",
     "UnknownTenantError",
+    "UpdateNotSupportedError",
     "fleet_config",
     "run_loadgen",
     "validate_serving_payload",

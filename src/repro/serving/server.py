@@ -34,6 +34,12 @@ traffic):
   version/binding plus cache-budget accounting).
 * ``{"op": "evict", "tenant": ...}`` — drop the tenant's cached table
   set (the model stays registered; next hit rebuilds lazily).
+* ``{"op": "partial_fit", "tenant": ..., "x": [[...], ...], "y": [...]}``
+  — apply a labelled batch to the tenant's live model (``features``/
+  ``labels`` long-form aliases accepted).  Gated behind
+  ``--partial-fit``; requires an online-capable model, else answers the
+  ``unsupported`` error code.  Serialized against predict flushes by the
+  service's collector, so clients never observe a half-applied update.
 
 Error responses carry a machine-routable ``error`` code plus a
 human-readable ``detail``:
@@ -76,6 +82,7 @@ from repro.serving.service import (
     InferenceService,
     ServiceClosedError,
     ServiceOverloadedError,
+    UpdateNotSupportedError,
 )
 
 
@@ -106,9 +113,15 @@ class ServingServer:
         port: int = 0,
         scrubber=None,
         scrub_interval: float = 0.25,
+        allow_partial_fit: bool = False,
     ):
         self.service = service
         self.host = host
+        #: Gate for the ``partial_fit`` op.  Off by default: accepting
+        #: unauthenticated training data over the wire changes the model,
+        #: so live updating is an explicit deployment decision
+        #: (``repro serve --partial-fit``), not an always-open door.
+        self.allow_partial_fit = bool(allow_partial_fit)
         self.scrubber = scrubber
         if not scrub_interval > 0:
             raise ValueError(
@@ -297,6 +310,38 @@ class ServingServer:
         telemetry.count("serving.fleet.publishes", tenant=tenant)
         return {"tenant": tenant, **record.describe()}
 
+    async def _partial_fit(self, request: dict) -> dict:
+        """Apply a labelled batch to a tenant's live model over the wire.
+
+        Payload: ``{"op": "partial_fit", "tenant": ..., "x": [[...], ...],
+        "y": [...]}`` (``features``/``labels`` accepted as the long-form
+        aliases).  Answers ``{"applied": N}`` once the update has been
+        flushed — i.e. after every predict admitted before it was served.
+        """
+        if not self.allow_partial_fit:
+            raise ValueError(
+                "partial_fit is disabled on this server; start with --partial-fit"
+            )
+        features = request.get("features", request.get("x"))
+        labels = request.get("labels", request.get("y"))
+        if not isinstance(features, list) or not features:
+            raise ValueError(
+                "partial_fit must carry a non-empty 'features' (or 'x') "
+                "list of samples"
+            )
+        if not isinstance(labels, list) or not labels:
+            raise ValueError(
+                "partial_fit must carry a non-empty 'labels' (or 'y') list"
+            )
+        tenant = request.get("tenant")
+        if tenant is not None and (not isinstance(tenant, str) or not tenant):
+            raise ValueError("'tenant' must be a non-empty string")
+        applied = await self.service.partial_fit(features, labels, tenant=tenant)
+        response = {"applied": applied}
+        if tenant is not None:
+            response["tenant"] = tenant
+        return response
+
     async def _answer(self, line: bytes) -> dict:
         request_id = None
         try:
@@ -315,6 +360,8 @@ class ServingServer:
                 return {"id": request_id, "tenant": tenant, "released": released}
             if op == "publish":
                 return {"id": request_id, **await self._publish(request)}
+            if op == "partial_fit":
+                return {"id": request_id, **await self._partial_fit(request)}
             if op != "predict":
                 raise ValueError(f"unknown op {op!r}")
             features = request.get("features", request.get("x"))
@@ -332,6 +379,8 @@ class ServingServer:
             return {"id": request_id, "error": "overloaded", "detail": str(error)}
         except DeadlineExceededError as error:
             return {"id": request_id, "error": "deadline", "detail": str(error)}
+        except UpdateNotSupportedError as error:
+            return {"id": request_id, "error": "unsupported", "detail": str(error)}
         except ServiceClosedError as error:
             return {"id": request_id, "error": "closed", "detail": str(error)}
         except (ValueError, TypeError, json.JSONDecodeError, OSError, ArtifactError) as error:

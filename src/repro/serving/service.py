@@ -61,7 +61,12 @@ import numpy as np
 
 from repro import kernels, telemetry
 from repro.resilience.retry import DeadlineExceededError
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import (
+    check_2d,
+    check_finite,
+    check_labels,
+    check_positive_int,
+)
 
 #: Flush-reason labels (also the ``reason`` label on the
 #: ``serving.batch.flushes`` counter and the keys of the load generator's
@@ -69,6 +74,7 @@ from repro.utils.validation import check_positive_int
 FLUSH_MAX_BATCH = "max_batch"
 FLUSH_MAX_WAIT = "max_wait"
 FLUSH_DRAIN = "drain"
+FLUSH_UPDATE = "update"
 
 #: Histogram buckets for queue-wait and end-to-end latency (seconds).
 LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.0)
@@ -123,6 +129,22 @@ class TenantOverloadedError(ServiceOverloadedError):
 
 class ServiceClosedError(ServingError):
     """The service is not running (never started, or already stopped)."""
+
+
+class UpdateNotSupportedError(ServingError):
+    """``partial_fit`` was requested for a model that cannot learn online.
+
+    Typed so fleet clients can distinguish "this tenant's model is a
+    frozen batch classifier" from transient serving failures; the TCP
+    front end maps it to the ``unsupported`` error code.
+    """
+
+    def __init__(self, tenant: str, model_type: str):
+        self.tenant = tenant
+        super().__init__(
+            f"tenant {tenant!r} serves a {model_type} without partial_fit; "
+            "publish an online-capable model (e.g. OnlineLookHD) to update live"
+        )
 
 
 @dataclass(frozen=True)
@@ -204,7 +226,7 @@ class MicrobatchConfig:
 
 
 class _Request:
-    __slots__ = ("features", "future", "enqueued_at", "deadline_at")
+    __slots__ = ("features", "labels", "future", "enqueued_at", "deadline_at")
 
     def __init__(
         self,
@@ -212,8 +234,12 @@ class _Request:
         future: asyncio.Future,
         enqueued_at: float,
         deadline_at: float | None = None,
+        labels: np.ndarray | None = None,
     ):
         self.features = features
+        #: ``None`` marks a predict request; a labels array marks a
+        #: ``partial_fit`` update riding the same per-tenant FIFO.
+        self.labels = labels
         self.future = future
         self.enqueued_at = enqueued_at
         self.deadline_at = deadline_at
@@ -306,6 +332,7 @@ class InferenceService:
         self.rejected = 0
         self.failed = 0
         self.expired = 0
+        self.updates = 0
         self.batches = 0
         self.max_batch_size = 0
         self.peak_queue_depth = 0
@@ -392,6 +419,7 @@ class InferenceService:
                 "rejected": 0,
                 "failed": 0,
                 "expired": 0,
+                "updated": 0,
             }
         return stats
 
@@ -503,6 +531,56 @@ class InferenceService:
         self._admit(tenant, request)
         return await request.future
 
+    def _resolve_classifier(self, tenant: str):
+        """Current model for a tenant (dispatch-time binding in fleet mode)."""
+        if self.registry is None:
+            return self.classifier
+        return self.registry.get(tenant).classifier
+
+    async def partial_fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        tenant: str | None = None,
+    ) -> int:
+        """Apply a labelled batch to a tenant's live model; returns its size.
+
+        The update rides the same per-tenant FIFO as predicts and is
+        flushed by the same single collector, so it is **serialized
+        against predict flushes**: every predict admitted before the
+        update is answered by the pre-update model, every predict
+        admitted after it sees the post-update model — no batch ever
+        observes a half-applied update (the learner itself commits each
+        batch atomically; see
+        :meth:`repro.lookhd.online.OnlineLookHD.partial_fit`).
+
+        Unlike the predict hot path, updates are control-plane rate, so
+        the whole payload is validated eagerly at admission — shape,
+        width, finiteness, label/feature count — and a tenant whose model
+        has no ``partial_fit`` fails fast with
+        :class:`UpdateNotSupportedError` before anything queues.
+        Admission control (global bound, tenant quota) applies as for any
+        request; an admitted update is always resolved or failed, never
+        dropped, preserving the drain invariant.
+        """
+        if not self._running:
+            raise ServiceClosedError("service is not running; call start() first")
+        tenant, n_features = self._resolve_tenant(tenant)
+        classifier = self._resolve_classifier(tenant)
+        if not callable(getattr(classifier, "partial_fit", None)):
+            raise UpdateNotSupportedError(tenant, type(classifier).__name__)
+        batch = check_finite(check_2d(features, "features"), "features")
+        if batch.shape[1] != n_features:
+            raise ValueError(
+                f"expected {n_features} features per sample, got {batch.shape[1]}"
+            )
+        labels = check_labels(labels, "labels", n_samples=batch.shape[0])
+        request = _Request(
+            batch, self._loop.create_future(), time.perf_counter(), labels=labels
+        )
+        self._admit(tenant, request)
+        return await request.future
+
     # -- collector -------------------------------------------------------------
 
     def _any_full(self) -> bool:
@@ -573,7 +651,19 @@ class InferenceService:
                 continue
             tenant, reason = chosen
             queue = self._queues[tenant]
-            batch = [queue.popleft() for _ in range(min(max_batch, len(queue)))]
+            # Homogeneous flushes preserve per-tenant FIFO semantics: an
+            # update at the head flushes alone; a predict run pops only up
+            # to the next update.  Because this one collector awaits each
+            # dispatch, an update can never overlap a predict flush — the
+            # serialization the live-learning bit-identity gate relies on.
+            if queue[0].labels is not None:
+                request = queue.popleft()
+                self._total_queued -= 1
+                await self._dispatch_update(request, tenant)
+                continue
+            batch = []
+            while queue and len(batch) < max_batch and queue[0].labels is None:
+                batch.append(queue.popleft())
             self._total_queued -= len(batch)
             await self._dispatch(batch, reason, tenant)
 
@@ -592,6 +682,56 @@ class InferenceService:
         with telemetry.timer("serving.batch.predict_seconds"):
             predictions = np.atleast_1d(classifier.predict(features))
         return predictions.astype(np.int64, copy=False)
+
+    def _update_model(self, features: np.ndarray, labels: np.ndarray, tenant: str) -> int:
+        # Same dispatch-time binding as _predict_batch: a hot-swap between
+        # admission and flush applies the update to the *current* model.
+        # The swapped-in model is re-checked for partial_fit here because
+        # the admission-time capability check bound the old record.
+        classifier = self._resolve_classifier(tenant)
+        update = getattr(classifier, "partial_fit", None)
+        if not callable(update):
+            raise UpdateNotSupportedError(tenant, type(classifier).__name__)
+        with telemetry.timer("serving.update.partial_fit_seconds"):
+            update(features, labels)
+        return int(features.shape[0])
+
+    async def _dispatch_update(self, request: _Request, tenant: str) -> None:
+        stats = self._tenant_stats(tenant)
+        self.flush_reasons[FLUSH_UPDATE] = self.flush_reasons.get(FLUSH_UPDATE, 0) + 1
+        telemetry.count("serving.batch.flushes", reason=FLUSH_UPDATE)
+        try:
+            if self.config.dispatch == "inline":
+                applied = self._update_model(request.features, request.labels, tenant)
+            else:
+                applied = await asyncio.get_running_loop().run_in_executor(
+                    None, self._update_model, request.features, request.labels, tenant
+                )
+        except Exception as error:  # noqa: BLE001 — forwarded to the awaiter
+            self.failed += 1
+            stats["failed"] += 1
+            telemetry.count("serving.requests.failed", reason="update_error")
+            if not request.future.done():
+                # Typed serving errors pass through untouched so callers
+                # can branch on UpdateNotSupportedError; everything else
+                # (a learner rejecting out-of-range labels, say) is
+                # wrapped like a failed predict batch.
+                if isinstance(error, ServingError):
+                    request.future.set_exception(error)
+                else:
+                    request.future.set_exception(
+                        ServingError(f"partial_fit failed: {error!r}")
+                    )
+            return
+        self.batches += 1
+        self.updates += 1
+        self.completed += 1
+        stats["completed"] += 1
+        stats["updated"] += 1
+        telemetry.count("serving.updates.applied")
+        telemetry.count("serving.updates.samples", applied)
+        if not request.future.done():
+            request.future.set_result(applied)
 
     @staticmethod
     def _merge_latency_histogram(name: str, values: np.ndarray) -> None:
@@ -712,6 +852,7 @@ class InferenceService:
             "rejected": self.rejected,
             "failed": self.failed,
             "expired": self.expired,
+            "updates": self.updates,
             "dropped": self.admitted
             - self.completed
             - self.failed

@@ -1,0 +1,41 @@
+"""Streaming ingestion and drift-adaptive online learning.
+
+The paper's pipeline is batch-shaped: the equalized quantizer needs a
+full pass to place boundaries and training materialises the dataset.
+This package makes the pipeline single-pass, closing ROADMAP item 1:
+
+* :class:`~repro.streaming.sketch.QuantileSketch` — deterministic
+  KLL-style compactor sketch with an instance-tracked rank-error bound.
+* :class:`~repro.streaming.quantizer.StreamingQuantizer` — equalized
+  boundaries from the sketch via ``partial_fit``, with a
+  freeze/version protocol so encoder and score-table caches invalidate
+  exactly when the value → level map actually changes.
+* :mod:`~repro.streaming.bench` — the drift-recovery bench
+  (``repro stream``): prequential accuracy under incremental and abrupt
+  drift versus a full-pass oracle, streaming-vs-full-pass boundary
+  divergence checked against the sketch guarantee, and a live
+  ``partial_fit``-through-serving section; written as schema-validated
+  ``BENCH_streaming.json``.
+"""
+
+from repro.streaming.bench import (
+    STREAM_PROFILES,
+    StreamBenchConfig,
+    run_stream_bench,
+    write_streaming_file,
+)
+from repro.streaming.quantizer import StreamingQuantizer
+from repro.streaming.schema import STREAMING_SCHEMA_VERSION, validate_streaming_payload
+from repro.streaming.sketch import DEFAULT_CAPACITY, QuantileSketch
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "STREAMING_SCHEMA_VERSION",
+    "STREAM_PROFILES",
+    "QuantileSketch",
+    "StreamBenchConfig",
+    "StreamingQuantizer",
+    "run_stream_bench",
+    "validate_streaming_payload",
+    "write_streaming_file",
+]

@@ -1,0 +1,197 @@
+"""Deterministic KLL-style quantile sketch for streaming quantization.
+
+The equalized quantizer (Sec. III-B) places boundaries at the ``i/q``
+quantiles of the training values — which, as written, needs the whole
+dataset in memory.  *Streaming Encoding Algorithms for Scalable
+Hyperdimensional Computing* (PAPERS.md) observes that HDC encoding only
+consumes the quantile *boundaries*, so a mergeable quantile sketch is
+enough to make the entire pipeline single-pass.
+
+This module implements the compactor hierarchy of the KLL sketch with
+**deterministic alternating compaction** instead of coin flips: level
+``h`` holds items of weight ``2^h``; when a level overflows its capacity
+``k`` it is sorted and every other item (alternating the starting parity
+between compactions) is promoted to level ``h+1``.  Determinism matters
+here more than the slightly better constants of the randomized variant —
+the same stream always produces the same boundaries, so streaming runs
+are reproducible and the bench gates can be exact.
+
+Error guarantee (tracked per instance, not just asymptotic): one
+compaction at level ``h`` perturbs the rank of any query point by at most
+``2^h`` (each discarded item shifts ranks by its weight, and the kept
+alternating half cancels all but one weight's worth).  The sketch sums
+``2^h`` over every compaction it actually performed, so
+
+    ``max_rank_error() = Σ_h  compactions_h · 2^h``
+
+is a hard bound on ``|estimated_rank − true_rank|`` for *this* stream —
+:meth:`rank_error_bound` normalises it by ``n``.  With all levels at
+capacity ``k`` the classic analysis gives ``ε ≈ log2(n/k) / k``; the
+instance bound is what the drift bench's boundary-divergence gate checks
+against, so the guarantee is an observable artifact rather than a comment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_finite, check_positive_int
+
+#: Default per-level capacity.  ``ε ≈ log2(n/k)/k``: at k=256 and a
+#: million-sample stream that is ~1.5% rank error, far below the mass a
+#: ``q``-level quantizer assigns to one level.
+DEFAULT_CAPACITY = 256
+
+#: Smallest capacity that keeps the alternating-compaction analysis
+#: meaningful (a 2-item level compacts to chance).
+_MIN_CAPACITY = 8
+
+
+class QuantileSketch:
+    """Single-pass, bounded-memory quantile summary of an unbounded stream.
+
+    Parameters
+    ----------
+    capacity:
+        Items held per compactor level (``k``).  Memory is
+        ``O(k · log(n/k))`` floats; rank error shrinks as ``1/k``.
+
+    Notes
+    -----
+    Fully deterministic: :meth:`update` order is the only input.  Two
+    sketches fed the same values in the same order are equal element for
+    element, which the streaming bench relies on for reproducibility.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        capacity = check_positive_int(capacity, "capacity")
+        if capacity < _MIN_CAPACITY:
+            raise ValueError(
+                f"capacity must be >= {_MIN_CAPACITY}, got {capacity}"
+            )
+        self.capacity = capacity
+        #: ``_levels[h]`` holds unsorted weight-``2^h`` items.
+        self._levels: list[list[float]] = [[]]
+        #: Alternating start parity per level (the determinism knob).
+        self._parity: list[int] = [0]
+        #: Compactions performed per level (drives the error bound).
+        self.compactions: list[int] = [0]
+        self.n = 0
+        self._min = np.inf
+        self._max = -np.inf
+
+    # -- ingestion -------------------------------------------------------------
+
+    def update(self, values: np.ndarray) -> "QuantileSketch":
+        """Absorb a batch of values (any shape; flattened)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return self
+        check_finite(values, "values")
+        self.n += int(values.size)
+        self._min = min(self._min, float(values.min()))
+        self._max = max(self._max, float(values.max()))
+        level0 = self._levels[0]
+        level0.extend(values.tolist())
+        while True:
+            for height, level in enumerate(self._levels):
+                if len(level) > self.capacity:
+                    self._compact(height)
+                    break
+            else:
+                return self
+
+    def _compact(self, height: int) -> None:
+        """Promote half of level ``height`` one level up, discard the rest."""
+        if height + 1 == len(self._levels):
+            self._levels.append([])
+            self._parity.append(0)
+            self.compactions.append(0)
+        level = sorted(self._levels[height])
+        start = self._parity[height]
+        # Alternate the kept parity between compactions so the one-weight
+        # residual error does not accumulate with a consistent sign.
+        self._parity[height] ^= 1
+        self._levels[height] = []
+        self._levels[height + 1].extend(level[start::2])
+        self.compactions[height] += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def min(self) -> float:
+        """Exact minimum seen (tracked outside the compactors)."""
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum seen (tracked outside the compactors)."""
+        return self._max
+
+    def max_rank_error(self) -> int:
+        """Hard bound on absolute rank error for this stream: ``Σ C_h·2^h``."""
+        return int(
+            sum(count << height for height, count in enumerate(self.compactions))
+        )
+
+    def rank_error_bound(self) -> float:
+        """Relative rank error guarantee ``ε`` (``max_rank_error / n``)."""
+        return self.max_rank_error() / self.n if self.n else 0.0
+
+    def _weighted_items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All retained ``(value, weight)`` pairs, sorted by value."""
+        values: list[float] = []
+        weights: list[int] = []
+        for height, level in enumerate(self._levels):
+            values.extend(level)
+            weights.extend([1 << height] * len(level))
+        order = np.argsort(np.asarray(values, dtype=np.float64), kind="stable")
+        return (
+            np.asarray(values, dtype=np.float64)[order],
+            np.asarray(weights, dtype=np.int64)[order],
+        )
+
+    def quantiles(self, fractions: np.ndarray) -> np.ndarray:
+        """Estimated quantiles at ``fractions`` (each in ``[0, 1]``).
+
+        The estimate at fraction ``f`` is the retained value whose
+        cumulative weight first reaches ``f · n``; its true rank is within
+        :meth:`max_rank_error` of ``f · n``.  Fractions 0 and 1 return the
+        exact tracked min/max.
+        """
+        if self.n == 0:
+            raise RuntimeError("sketch is empty; update() it first")
+        fractions = np.atleast_1d(np.asarray(fractions, dtype=np.float64))
+        if fractions.size and (fractions.min() < 0.0 or fractions.max() > 1.0):
+            raise ValueError("fractions must lie in [0, 1]")
+        values, weights = self._weighted_items()
+        cumulative = np.cumsum(weights)
+        targets = fractions * cumulative[-1]
+        indices = np.searchsorted(cumulative, targets, side="left")
+        indices = np.clip(indices, 0, values.size - 1)
+        out = values[indices]
+        out[fractions <= 0.0] = self._min
+        out[fractions >= 1.0] = self._max
+        return out
+
+    def quantile(self, fraction: float) -> float:
+        """Scalar convenience wrapper over :meth:`quantiles`."""
+        return float(self.quantiles(np.asarray([fraction]))[0])
+
+    # -- reporting -------------------------------------------------------------
+
+    def retained(self) -> int:
+        """Items currently held across all levels (the memory footprint)."""
+        return sum(len(level) for level in self._levels)
+
+    def describe(self) -> dict:
+        """Snapshot for bench payloads and health probes."""
+        return {
+            "capacity": self.capacity,
+            "n": self.n,
+            "retained": self.retained(),
+            "levels": len(self._levels),
+            "compactions": int(sum(self.compactions)),
+            "max_rank_error": self.max_rank_error(),
+            "rank_error_bound": self.rank_error_bound(),
+        }

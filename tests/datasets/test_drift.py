@@ -77,3 +77,41 @@ class TestOnlineAdaptationUnderDrift:
             online_last = online.score(batch.features, batch.labels)
             online.partial_fit(batch.features, batch.labels)
         assert online_last >= frozen_last
+
+
+class TestStreamProperties:
+    """Property-style guarantees the streaming bench builds on."""
+
+    def test_seed_determinism_extends_to_labels_and_progress(self):
+        for abrupt in (False, True):
+            a = drifting_stream(SPEC, n_batches=5, batch_size=50, abrupt=abrupt)
+            b = drifting_stream(SPEC, n_batches=5, batch_size=50, abrupt=abrupt)
+            for batch_a, batch_b in zip(a, b):
+                assert np.array_equal(batch_a.features, batch_b.features)
+                assert np.array_equal(batch_a.labels, batch_b.labels)
+                assert batch_a.drift_progress == batch_b.drift_progress
+
+    @pytest.mark.parametrize("n_batches", [2, 5, 9, 12])
+    def test_abrupt_jump_lands_exactly_at_midpoint(self, n_batches):
+        batches = drifting_stream(SPEC, n_batches=n_batches, batch_size=10, abrupt=True)
+        progresses = [batch.drift_progress for batch in batches]
+        midpoint = n_batches // 2
+        assert progresses[:midpoint] == [0.0] * midpoint
+        assert progresses[midpoint:] == [1.0] * (n_batches - midpoint)
+
+    def test_skewed_features_stay_finite_under_extreme_drift(self):
+        # Regression: skew > 0 exponentiates skew * latent; with a huge
+        # drift magnitude the latent mean explodes and exp() used to
+        # overflow to inf, which check_finite downstream then rejected.
+        batches = drifting_stream(
+            SPEC, n_batches=4, batch_size=100, drift_magnitude=1e6
+        )
+        for batch in batches:
+            assert np.all(np.isfinite(batch.features))
+
+    def test_finite_even_at_float_exp_limit(self):
+        spec = SyntheticSpec(
+            n_features=8, n_classes=2, class_separation=2.0, skew=5.0, seed=1
+        )
+        batches = drifting_stream(spec, n_batches=3, batch_size=64, drift_magnitude=500.0)
+        assert all(np.all(np.isfinite(b.features)) for b in batches)

@@ -154,3 +154,149 @@ class TestBatchParity:
         batch_predictions = online.predict(queries)
         singles = [online.predict(queries[i]) for i in range(queries.shape[0])]
         assert np.array_equal(batch_predictions, np.asarray(singles))
+
+
+class TestBatchAtomicity:
+    """Regression: a mid-batch failure must leave the learner untouched.
+
+    Before the copy-commit fix, per-sample updates landed directly on
+    ``self._model``, so an exception on sample N of a batch published the
+    first N-1 updates — with ``samples_seen`` and the snapshot version out
+    of sync with the weights.
+    """
+
+    def test_mid_batch_failure_leaves_all_state_untouched(
+        self, small_dataset, encoder, monkeypatch
+    ):
+        import repro.lookhd.online as online_module
+
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features[:20], small_dataset.train_labels[:20])
+        snapshot = online.class_model()
+        model_before = online._model.copy()
+        seen_before = online.samples_seen
+        version_before = snapshot.version
+        vectors_before = snapshot.class_vectors.copy()
+        window_before = list(online._window)
+
+        real = online_module.cosine_similarity
+        calls = {"n": 0}
+
+        def explode_on_fifth(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 5:
+                raise RuntimeError("injected mid-batch fault")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(online_module, "cosine_similarity", explode_on_fifth)
+        with pytest.raises(RuntimeError, match="injected"):
+            online.partial_fit(
+                small_dataset.train_features[20:32], small_dataset.train_labels[20:32]
+            )
+
+        # Nothing committed: weights, counter, window, snapshot all intact.
+        assert np.array_equal(online._model, model_before)
+        assert online.samples_seen == seen_before
+        assert list(online._window) == window_before
+        assert snapshot.version == version_before
+        assert np.array_equal(snapshot.class_vectors, vectors_before)
+
+    def test_failed_batch_can_be_retried(self, small_dataset, encoder, monkeypatch):
+        import repro.lookhd.online as online_module
+
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        real = online_module.cosine_similarity
+        state = {"fail": True}
+
+        def flaky(*args, **kwargs):
+            if state["fail"]:
+                state["fail"] = False
+                raise RuntimeError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(online_module, "cosine_similarity", flaky)
+        with pytest.raises(RuntimeError):
+            online.partial_fit(small_dataset.train_features[:8], small_dataset.train_labels[:8])
+        online.partial_fit(small_dataset.train_features[:8], small_dataset.train_labels[:8])
+        assert online.samples_seen == 8
+
+
+class TestScoreValidation:
+    """Regression: score() must validate labels before running predict."""
+
+    def test_misaligned_score_labels_rejected(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features[:20], small_dataset.train_labels[:20])
+        with pytest.raises(ValueError, match="align"):
+            online.score(small_dataset.test_features[:5], small_dataset.test_labels[:4])
+
+    def test_column_vector_labels_rejected(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features[:20], small_dataset.train_labels[:20])
+        with pytest.raises(ValueError):
+            online.score(
+                small_dataset.test_features[:5],
+                small_dataset.test_labels[:5].reshape(-1, 1),
+            )
+
+    def test_single_sample_score(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes)
+        online.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        accuracy = online.score(
+            small_dataset.test_features[:1], small_dataset.test_labels[:1]
+        )
+        assert accuracy in (0.0, 1.0)
+
+
+class TestDriftAdaptation:
+    def test_decay_validation(self, encoder):
+        with pytest.raises(ValueError, match="decay"):
+            OnlineLookHD(encoder, 2, decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            OnlineLookHD(encoder, 2, decay=1.0001)
+        with pytest.raises(ValueError):
+            OnlineLookHD(encoder, 2, window=0)
+
+    def test_decay_one_matches_legacy_behaviour(self, small_dataset, encoder):
+        stationary = OnlineLookHD(encoder, small_dataset.n_classes)
+        explicit = OnlineLookHD(encoder, small_dataset.n_classes, decay=1.0)
+        stationary.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        explicit.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        assert np.array_equal(stationary._model, explicit._model)
+
+    def test_decay_downweights_old_evidence(self, small_dataset, encoder):
+        decayed = OnlineLookHD(encoder, small_dataset.n_classes, decay=0.9)
+        stationary = OnlineLookHD(encoder, small_dataset.n_classes)
+        decayed.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        stationary.partial_fit(small_dataset.train_features, small_dataset.train_labels)
+        # After N samples the first sample's contribution is scaled by
+        # decay^(N-1) in the decayed learner, untouched in the stationary
+        # one — the two models must genuinely differ.
+        assert not np.array_equal(decayed._model, stationary._model)
+        # And the decayed learner still learns the (stationary) problem.
+        assert decayed.score(small_dataset.test_features, small_dataset.test_labels) > 0.7
+
+    def test_drift_stats_window(self, small_dataset, encoder):
+        online = OnlineLookHD(encoder, small_dataset.n_classes, window=16)
+        empty = online.drift_stats()
+        assert empty["window_accuracy"] is None
+        assert empty["window_filled"] == 0
+        assert empty["window"] == 16
+        online.partial_fit(small_dataset.train_features[:10], small_dataset.train_labels[:10])
+        partial = online.drift_stats()
+        assert partial["window_filled"] == 10
+        assert 0.0 <= partial["window_accuracy"] <= 1.0
+        online.partial_fit(small_dataset.train_features[10:40], small_dataset.train_labels[10:40])
+        full = online.drift_stats()
+        assert full["window_filled"] == 16  # bounded by maxlen
+        assert full["samples_seen"] == 40
+
+    def test_prequential_window_scores_before_update(self, small_dataset, encoder):
+        # The very first sample is graded by the untrained (all-zero)
+        # model: argmax over all-zero similarities answers 0 regardless.
+        online = OnlineLookHD(encoder, small_dataset.n_classes, window=8)
+        features = small_dataset.train_features[:1]
+        label_nonzero = np.array([2])
+        online.partial_fit(features, label_nonzero)
+        stats = online.drift_stats()
+        assert stats["window_accuracy"] == 0.0  # scored before the update

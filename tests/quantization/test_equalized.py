@@ -63,3 +63,43 @@ class TestEqualizedQuantizer:
     def test_single_level(self):
         q = EqualizedQuantizer(1).fit(np.random.default_rng(6).random(100))
         assert np.all(q.transform(np.random.default_rng(7).random(10)) == 0)
+
+
+class TestBoundaryClamp:
+    """Regression for the ulp-nudge overflow: separating tied quantile
+    boundaries by nudging upward could push the last boundary past the
+    data maximum, making the top level unreachable on the training data.
+    """
+
+    def test_point_mass_keeps_top_level_reachable(self):
+        # Quantiles 0.25/0.5/0.75 land on 2.0/4.0/4.0: the tied pair used
+        # to be separated by nudging the last boundary above 4.0, so the
+        # maximum value itself quantized to level 2, never 3.
+        values = np.array([1.0] * 10 + [2.0] * 10 + [3.0] * 15 + [4.0] * 65)
+        q = EqualizedQuantizer(4).fit(values)
+        assert int(q.transform(np.array([4.0]))[0]) == 3
+        assert np.all(np.diff(q._boundaries) > 0)
+        assert q._boundaries[-1] <= values.max()
+
+    def test_all_levels_reachable_on_training_data(self):
+        rng = np.random.default_rng(13)
+        for _ in range(5):
+            values = np.round(rng.lognormal(size=400), 1)  # heavy ties
+            q = EqualizedQuantizer(4).fit(values)
+            levels = q.transform(values)
+            assert set(np.unique(levels)) >= {3}, "top level must be reachable"
+            assert np.all(np.diff(q._boundaries) > 0)
+
+    def test_separate_boundaries_clamps_to_data_max(self):
+        from repro.quantization.equalized import separate_boundaries
+
+        tied = np.array([1.0, 4.0, 4.0])
+        repaired = separate_boundaries(tied, data_max=4.0)
+        assert np.all(np.diff(repaired) > 0)
+        assert repaired[-1] <= 4.0
+
+    def test_separate_boundaries_noop_when_strictly_increasing(self):
+        from repro.quantization.equalized import separate_boundaries
+
+        clean = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(separate_boundaries(clean.copy(), 5.0), clean)

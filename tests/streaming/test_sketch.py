@@ -1,0 +1,127 @@
+"""QuantileSketch: determinism, instance-tracked error bound, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streaming import QuantileSketch
+
+
+class TestIngestion:
+    def test_counts_and_exact_extremes(self, rng):
+        values = rng.normal(size=5_000)
+        sketch = QuantileSketch(capacity=64)
+        for start in range(0, values.size, 640):
+            sketch.update(values[start : start + 640])
+        assert sketch.n == values.size
+        assert sketch.min == values.min()
+        assert sketch.max == values.max()
+
+    def test_bounded_memory(self, rng):
+        sketch = QuantileSketch(capacity=32)
+        for _ in range(50):
+            sketch.update(rng.normal(size=2_000))
+        # 100k items summarised in O(k log(n/k)) retained samples.
+        assert sketch.retained() <= 32 * (len(sketch.compactions) + 1)
+        assert sketch.retained() < 1_000
+
+    def test_any_shape_flattened(self):
+        sketch = QuantileSketch()
+        sketch.update(np.arange(12.0).reshape(3, 4))
+        assert sketch.n == 12
+
+    def test_empty_update_is_noop(self):
+        sketch = QuantileSketch()
+        sketch.update(np.empty(0))
+        assert sketch.n == 0
+
+    def test_rejects_non_finite(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError, match="non-finite"):
+            sketch.update(np.array([1.0, np.nan]))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=0)
+        with pytest.raises(ValueError, match=">= 8"):
+            QuantileSketch(capacity=4)
+
+
+class TestQuantiles:
+    def test_small_stream_is_exact(self):
+        # Below capacity nothing compacts: quantiles come from raw data.
+        values = np.arange(100.0)
+        sketch = QuantileSketch(capacity=256)
+        sketch.update(values)
+        assert sketch.max_rank_error() == 0
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == 99.0
+        assert abs(sketch.quantile(0.5) - 50.0) <= 1.0
+
+    def test_rank_error_within_instance_bound(self, rng):
+        values = rng.lognormal(size=60_000)
+        sketch = QuantileSketch(capacity=64)
+        for start in range(0, values.size, 4_096):
+            sketch.update(values[start : start + 4_096])
+        ordered = np.sort(values)
+        for fraction in (0.1, 0.25, 0.5, 0.75, 0.9):
+            estimate = sketch.quantile(fraction)
+            true_rank = np.searchsorted(ordered, estimate)
+            # +1 interpolation slack: the estimate is a retained sample,
+            # whose own weight straddles the target rank.
+            assert abs(true_rank - fraction * values.size) <= (
+                sketch.max_rank_error() + 1
+            )
+
+    def test_fractions_clamped_to_extremes(self, rng):
+        sketch = QuantileSketch(capacity=16)
+        sketch.update(rng.normal(size=1_000))
+        assert sketch.quantile(0.0) == sketch.min
+        assert sketch.quantile(1.0) == sketch.max
+
+    def test_quantiles_vectorised_matches_scalar(self, rng):
+        sketch = QuantileSketch(capacity=32)
+        sketch.update(rng.normal(size=3_000))
+        fractions = np.array([0.2, 0.5, 0.8])
+        batch = sketch.quantiles(fractions)
+        singles = [sketch.quantile(f) for f in fractions]
+        assert np.array_equal(batch, np.asarray(singles))
+
+    def test_empty_sketch_queries_raise(self):
+        sketch = QuantileSketch()
+        with pytest.raises(RuntimeError):
+            sketch.quantile(0.5)
+
+    def test_out_of_range_fraction_rejected(self, rng):
+        sketch = QuantileSketch()
+        sketch.update(rng.normal(size=10))
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            sketch.quantile(-0.1)
+
+
+class TestDeterminism:
+    def test_same_stream_same_sketch(self, rng):
+        values = rng.normal(size=20_000)
+        a = QuantileSketch(capacity=32)
+        b = QuantileSketch(capacity=32)
+        for start in range(0, values.size, 1_000):
+            a.update(values[start : start + 1_000])
+            b.update(values[start : start + 1_000])
+        fractions = np.linspace(0.05, 0.95, 19)
+        assert np.array_equal(a.quantiles(fractions), b.quantiles(fractions))
+        assert a.describe() == b.describe()
+
+    def test_describe_fields(self, rng):
+        sketch = QuantileSketch(capacity=16)
+        sketch.update(rng.normal(size=5_000))
+        info = sketch.describe()
+        assert info["n"] == 5_000
+        assert info["capacity"] == 16
+        assert info["compactions"] > 0
+        assert info["max_rank_error"] > 0
+        assert 0.0 < info["rank_error_bound"] < 1.0
+        assert info["retained"] == sketch.retained()
+        assert info["levels"] >= 2

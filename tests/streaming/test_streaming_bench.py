@@ -1,0 +1,162 @@
+"""Streaming bench + schema: the smoke profile passes, forgeries fail."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.streaming import (
+    STREAM_PROFILES,
+    StreamBenchConfig,
+    run_stream_bench,
+    validate_streaming_payload,
+    write_streaming_file,
+)
+from repro.streaming.bench import override_config
+from repro.streaming.schema import RECOVERY_TOLERANCE
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return run_stream_bench(STREAM_PROFILES["smoke"])
+
+
+class TestConfig:
+    def test_profiles_are_valid(self):
+        for profile in STREAM_PROFILES.values():
+            assert isinstance(profile, StreamBenchConfig)
+            assert 0 < profile.tail_batches <= profile.n_batches
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="decay"):
+            StreamBenchConfig(decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            StreamBenchConfig(decay=1.5)
+        with pytest.raises(ValueError):
+            StreamBenchConfig(n_batches=0)
+        with pytest.raises(ValueError):
+            StreamBenchConfig(drift_magnitude=-1.0)
+
+    def test_override_config(self):
+        base = STREAM_PROFILES["smoke"]
+        same = override_config(base, n_batches=None, decay=None)
+        assert same == base
+        changed = override_config(base, n_batches=6, decay=0.9)
+        assert changed.n_batches == 6
+        assert changed.decay == 0.9
+        assert changed.dim == base.dim
+
+
+class TestSmokeRun:
+    def test_payload_passes_schema(self, smoke_payload):
+        assert validate_streaming_payload(smoke_payload) is smoke_payload
+
+    def test_all_gates_hold(self, smoke_payload):
+        checks = smoke_payload["checks"]
+        assert checks["abrupt_recovery_within_tolerance"]
+        assert checks["divergence_within_bound"]
+        assert checks["serving_zero_dropped"]
+        assert checks["serving_live_bit_identity"]
+        abrupt = smoke_payload["modes"]["abrupt"]
+        assert abrupt["recovery_gap"] <= RECOVERY_TOLERANCE
+        assert abrupt["boundary_divergence"] <= abrupt["divergence_bound"]
+
+    def test_serving_section_counts(self, smoke_payload):
+        serving = smoke_payload["serving"]
+        assert serving["updates"] >= 1
+        assert serving["predicts"] >= 1
+        assert serving["dropped"] == 0
+        assert serving["flush_reasons"]["update"] == serving["updates"]
+        assert serving["live_matches_offline"] is True
+
+    def test_payload_is_json_serialisable(self, smoke_payload):
+        round_tripped = json.loads(json.dumps(smoke_payload))
+        validate_streaming_payload(round_tripped)
+
+    def test_write_streaming_file(self, tmp_path):
+        # Tiny custom config: the write path itself, not another full run.
+        config = override_config(
+            STREAM_PROFILES["smoke"], n_batches=8, batch_size=60, dim=256
+        )
+        path = write_streaming_file(config=config, out_dir=tmp_path)
+        assert path.name == "BENCH_streaming.json"
+        payload = json.loads(path.read_text())
+        validate_streaming_payload(payload)
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown streaming profile"):
+            write_streaming_file("nope", out_dir=tmp_path)
+
+
+class TestSchemaRejectsForgeries:
+    """The schema is the acceptance gate: doctored payloads must not pass."""
+
+    def _mutated(self, payload, mutate):
+        doctored = copy.deepcopy(payload)
+        mutate(doctored)
+        return doctored
+
+    def test_rejects_failed_recovery(self, smoke_payload):
+        def mutate(p):
+            abrupt = p["modes"]["abrupt"]
+            abrupt["streaming_tail_accuracy"] = max(
+                0.0, abrupt["oracle_tail_accuracy"] - 0.5
+            )
+            abrupt["recovery_gap"] = (
+                abrupt["oracle_tail_accuracy"] - abrupt["streaming_tail_accuracy"]
+            )
+
+        with pytest.raises(ValueError, match="failed to recover"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))
+
+    def test_rejects_inconsistent_recovery_gap(self, smoke_payload):
+        def mutate(p):
+            p["modes"]["abrupt"]["recovery_gap"] = 0.0
+            p["modes"]["abrupt"]["streaming_tail_accuracy"] = 0.1
+
+        with pytest.raises(ValueError, match="recovery_gap must equal"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))
+
+    def test_rejects_divergence_beyond_bound(self, smoke_payload):
+        def mutate(p):
+            mode = p["modes"]["incremental"]
+            mode["boundary_divergence"] = mode["divergence_bound"] * 2
+
+        with pytest.raises(ValueError, match="diverged beyond"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))
+
+    def test_rejects_dropped_updates(self, smoke_payload):
+        def mutate(p):
+            p["serving"]["dropped"] = 1
+
+        with pytest.raises(ValueError, match="dropped"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))
+
+    def test_rejects_live_divergence(self, smoke_payload):
+        def mutate(p):
+            p["serving"]["live_matches_offline"] = False
+
+        with pytest.raises(ValueError, match="diverged from the offline"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))
+
+    def test_rejects_unlearned_quantizer(self, smoke_payload):
+        def mutate(p):
+            p["modes"]["abrupt"]["quantizer_version"] = 0
+
+        with pytest.raises(ValueError, match="quantizer_version"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))
+
+    def test_rejects_missing_telemetry(self, smoke_payload):
+        doctored = copy.deepcopy(smoke_payload)
+        del doctored["telemetry"]
+        with pytest.raises(ValueError, match="telemetry"):
+            validate_streaming_payload(doctored)
+
+    def test_rejects_wrong_schema_version(self, smoke_payload):
+        def mutate(p):
+            p["schema_version"] = 99
+
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_streaming_payload(self._mutated(smoke_payload, mutate))

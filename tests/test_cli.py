@@ -253,3 +253,53 @@ class TestServingCommands:
         assert payload["results"]["requests"]["sent"] == 120
         assert payload["checks"]["per_tenant_bit_identity"] is True
         assert payload["checks"]["swap_zero_downtime"] is True
+
+
+class TestStreamCommand:
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.profile == "full"
+        assert args.batches is None
+        assert args.batch_size is None
+        assert args.decay is None
+        assert args.sketch_capacity is None
+        assert args.out_dir == "."
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["stream", "--profile", "firehose"],
+            ["stream", "--batches", "0"],
+            ["stream", "--batch-size", "-4"],
+            ["stream", "--sketch-capacity", "0"],
+            ["stream", "--decay", "0"],
+            ["stream", "--decay", "1.5"],
+            ["stream", "--decay", "-0.5"],
+            ["stream", "--decay", "soon"],
+        ],
+    )
+    def test_stream_bad_flags_fail_at_parse_time(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_serve_partial_fit_flag(self):
+        assert build_parser().parse_args(["serve"]).partial_fit is False
+        assert build_parser().parse_args(["serve", "--partial-fit"]).partial_fit is True
+
+    def test_stream_smoke_writes_valid_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.streaming import validate_streaming_payload
+
+        status = main(
+            ["stream", "--profile", "smoke", "--batches", "8",
+             "--batch-size", "60", "--out-dir", str(tmp_path)]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "BENCH_streaming.json" in out
+        assert "0 dropped" in out
+        payload = validate_streaming_payload(
+            json.loads((tmp_path / "BENCH_streaming.json").read_text())
+        )
+        assert payload["workload"]["n_batches"] == 8

@@ -296,6 +296,16 @@ def _cmd_serve(args) -> int:
     if args.models and args.model:
         print("pass either --model (single) or --models (fleet), not both", file=sys.stderr)
         return 2
+    if args.shards > 1:
+        # Shard processes rebuild their registries from saved artifacts,
+        # so sharded serving needs model *paths*, not an in-process fit.
+        if not (args.models or args.model):
+            print(
+                "--shards > 1 needs saved artifacts: pass --model or --models",
+                file=sys.stderr,
+            )
+            return 2
+        return _serve_sharded(args, config)
 
     registry = None
     clf = None
@@ -384,10 +394,81 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_sharded(args, config) -> int:
+    """``repro serve --shards N``: acceptor + N supervised shard processes."""
+    import asyncio
+    import signal
+
+    from repro.serving import InferenceService, ShardedServer
+
+    models = list(args.models or [])
+    if args.model:
+        models = [(InferenceService.DEFAULT_TENANT, args.model)]
+
+    async def _run() -> None:
+        server = ShardedServer(
+            models,
+            n_shards=args.shards,
+            config=config,
+            host=args.host,
+            port=args.port,
+            allow_partial_fit=args.partial_fit,
+            scrub_interval=args.scrub_interval,
+        )
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} across {args.shards} shards "
+            f"(pipelined JSON lines; tenants: {', '.join(server.tenants())}; "
+            "Ctrl-C or SIGTERM to drain and stop)",
+            flush=True,
+        )
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, shutdown.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await shutdown.wait()
+            print("shutdown signal received; draining...", flush=True)
+        finally:
+            await server.stop()
+            stats = server.request_stats()
+            print(
+                f"drained: {stats['answered']} answered, "
+                f"{stats['dropped']} dropped, {stats['respawns']} respawns",
+                flush=True,
+            )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     import json
 
     from repro.serving import LoadgenConfig, write_serving_file
+
+    # Flag-combination validation up front (exit 2, argparse-style): the
+    # open/closed split changes which knobs are meaningful, and a wrong
+    # combination should fail before any model is trained.
+    if args.open_loop and not args.rate:
+        print("--open-loop needs at least one --rate R", file=sys.stderr)
+        return 2
+    if args.rate and not args.open_loop:
+        print("--rate is an open-loop knob; pass --open-loop", file=sys.stderr)
+        return 2
+    if args.shards > 1 and not args.open_loop:
+        print("--shards > 1 requires --open-loop (sharded runs are open-loop only)",
+              file=sys.stderr)
+        return 2
+    if args.kill_shard and args.shards < 2:
+        print("--kill-shard needs --shards >= 2", file=sys.stderr)
+        return 2
 
     config = LoadgenConfig(
         n_requests=args.requests,
@@ -401,18 +482,51 @@ def _cmd_loadgen(args) -> int:
         tenant_quota=args.tenant_quota,
         cache_budget_bytes=args.cache_budget_bytes,
         swap_under_load=args.swap,
+        mode="open" if args.open_loop else "closed",
+        rates=tuple(args.rate or ()),
+        n_shards=args.shards,
+        kill_shard_under_load=args.kill_shard,
     )
     path = write_serving_file(args.profile, out_dir=args.out_dir, config=config)
     payload = json.loads(path.read_text())
     results = payload["results"]
     print(f"wrote {path}")
-    print(
-        f"microbatched {results['throughput_rps']:,.0f} rps vs sequential "
-        f"{results['sequential_rps']:,.0f} rps "
-        f"({results['speedup_vs_sequential']:.2f}x), "
-        f"{results['batches']['count']} batches, "
-        f"{results['requests']['dropped']} dropped"
-    )
+    if args.open_loop:
+        for block in results["open_loop"]["rates"]:
+            latency = block["latency_seconds"]
+            print(
+                f"rate {block['rate']:,.0f} rps: achieved {block['achieved_rps']:,.0f} rps, "
+                f"p50 {latency['p50'] * 1e3:.2f} ms, p99 {latency['p99'] * 1e3:.2f} ms, "
+                f"p99.9 {latency['p999'] * 1e3:.2f} ms "
+                f"(max send lag {block['max_lag_seconds'] * 1e3:.2f} ms)"
+            )
+        if args.shards > 1:
+            sharding = results["sharding"]
+            chaos = sharding["chaos"]
+            killed = (
+                f"chaos: killed shard {chaos['shard']}, availability "
+                f"{chaos['availability']:.3f}, "
+                f"{sharding['acceptor']['retried']} replayed"
+                if chaos["performed"]
+                else "no chaos kill"
+            )
+            print(
+                f"{payload['service']['n_shards']} shards: outputs match "
+                f"single-process {payload['checks']['shard_outputs_match']}, "
+                f"{sharding['acceptor']['respawns']} respawns, {killed}"
+            )
+    else:
+        timeline = results["timeline"]
+        print(
+            f"microbatched {timeline['steady_rps']:,.0f} rps steady "
+            f"({results['throughput_rps']:,.0f} rps overall, warmup "
+            f"{timeline['warmup_buckets']} of {len(timeline['buckets_rps'])} "
+            f"buckets excluded) vs sequential "
+            f"{results['sequential_rps']:,.0f} rps "
+            f"({results['speedup_vs_sequential']:.2f}x), "
+            f"{results['batches']['count']} batches, "
+            f"{results['requests']['dropped']} dropped"
+        )
     if payload["workload"]["n_tenants"] > 1:
         swap = results["swap"]
         swapped = (
@@ -698,6 +812,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the partial_fit op: labelled batches over the wire "
         "update the served model live (requires an online-capable model)",
     )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=">1 runs the horizontally sharded server: one acceptor fanning "
+        "to N shard processes with tenant affinity and supervised respawn "
+        "(requires saved artifacts via --model/--models)",
+    )
     add_microbatch_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -739,6 +861,39 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="hot-swap one tenant's model mid-run (fleet mode; the "
         "availability-1.0 gate covers the swap)",
+    )
+    loop = loadgen.add_mutually_exclusive_group()
+    loop.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="replay a seeded arrival schedule and measure latency from the "
+        "*intended* arrival time (coordinated-omission-safe); requires --rate",
+    )
+    loop.add_argument(
+        "--closed-loop",
+        action="store_true",
+        help="fixed worker pool, next request only after the last completes "
+        "(the default mode)",
+    )
+    loadgen.add_argument(
+        "--rate",
+        action="append",
+        type=_positive_float,
+        metavar="RPS",
+        help="open-loop offered rate in requests/s; repeat for a rate sweep",
+    )
+    loadgen.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=">1 drives the sharded server instead of the in-process service "
+        "(open-loop only)",
+    )
+    loadgen.add_argument(
+        "--kill-shard",
+        action="store_true",
+        help="chaos: SIGKILL one shard mid-run and gate on zero dropped "
+        "requests after supervised respawn (requires --shards >= 2)",
     )
     loadgen.add_argument("--out-dir", default=".", help="directory for BENCH_serving.json")
     add_microbatch_args(loadgen)

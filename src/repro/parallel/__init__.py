@@ -24,8 +24,10 @@ from repro.parallel.executor import (
     WorkerError,
     default_start_method,
     plan_shards,
+    reap_processes,
     resolve_n_workers,
     shared_memory_available,
+    watch_process,
 )
 from repro.parallel.trainer import ParallelTrainer
 
@@ -39,6 +41,8 @@ __all__ = [
     "WorkerError",
     "default_start_method",
     "plan_shards",
+    "reap_processes",
     "resolve_n_workers",
     "shared_memory_available",
+    "watch_process",
 ]

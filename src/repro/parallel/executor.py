@@ -48,8 +48,10 @@ __all__ = [
     "WorkerError",
     "default_start_method",
     "plan_shards",
+    "reap_processes",
     "resolve_n_workers",
     "shared_memory_available",
+    "watch_process",
 ]
 
 #: Backstop timeout on the (otherwise blocking) result-queue get.  Worker
@@ -141,6 +143,47 @@ def plan_shards(n_items: int, n_workers: int) -> tuple[tuple[int, int], ...]:
         shards.append((start, stop))
         start = stop
     return tuple(shards)
+
+
+def watch_process(process, on_exit, name: str = "watch") -> threading.Thread:
+    """Start a daemon thread that joins ``process`` and reports its exit.
+
+    The watcher blocks in ``process.join()`` (no CPU) and, when the
+    process exits, calls ``on_exit(exitcode)``.  This is the parent-side
+    death-detection half of the supervision machinery, shared by
+    :class:`ProcessExecutor` (training workers) and the sharded serving
+    pool (:mod:`repro.serving.shard`): the callback decides what a death
+    means — push a wakeup message, schedule a respawn — while the watcher
+    itself stays a dumb, exception-swallowing join loop.
+    """
+
+    def _watch():
+        process.join()
+        try:
+            on_exit(process.exitcode)
+        except Exception:  # noqa: BLE001 — a dying callback must not kill the thread
+            pass
+
+    thread = threading.Thread(target=_watch, daemon=True, name=name)
+    thread.start()
+    return thread
+
+
+def reap_processes(processes) -> None:
+    """Join every process, escalating join → terminate → kill.
+
+    A worker stuck in uninterruptible state must not leak past its owner:
+    after a grace join fails the parent terminates, then kills — the same
+    drain discipline the serving layer applies to requests.
+    """
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=2.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
 
 
 @dataclass(frozen=True)
@@ -388,32 +431,14 @@ class ProcessExecutor:
         )
         process.start()
 
-        def _watch():
-            process.join()
+        def _on_exit(exitcode):
             try:
-                result_queue.put(("exit", slot, incarnation, process.exitcode))
+                result_queue.put(("exit", slot, incarnation, exitcode))
             except (ValueError, OSError):  # queue already closed at teardown
                 pass
 
-        threading.Thread(target=_watch, daemon=True, name=f"executor-watch-{slot}").start()
+        watch_process(process, _on_exit, name=f"executor-watch-{slot}")
         return process
-
-    @staticmethod
-    def _reap(processes) -> None:
-        """Join every worker, escalating join → terminate → kill.
-
-        A worker stuck in uninterruptible state must not leak past the
-        map call: after a grace join fails the parent terminates, then
-        kills — the same drain discipline the serving layer applies.
-        """
-        for process in processes:
-            process.join(timeout=5.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=2.0)
-            if process.is_alive():
-                process.kill()
-                process.join(timeout=5.0)
 
     def _map_processes(self, fn, tasks) -> list:
         context = multiprocessing.get_context(self.start_method)
@@ -515,7 +540,7 @@ class ProcessExecutor:
                 for process in all_processes:
                     if process.is_alive():
                         process.terminate()
-            self._reap(all_processes)
+            reap_processes(all_processes)
             result_queue.close()
         if error is not None:
             raise error

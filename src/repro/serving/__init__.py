@@ -19,10 +19,20 @@ overhead dominates any single-sample path.  This package closes that gap:
   flushing, dispatch-time model binding.
 * :class:`~repro.serving.server.ServingServer` — a newline-delimited-JSON
   TCP front end over the service (``repro serve``), with per-tenant
-  routing and ``publish``/``list``/``evict`` admin ops in fleet mode.
-* :mod:`~repro.serving.loadgen` — a closed-loop load generator
-  (``repro loadgen``) that measures microbatched vs sequential throughput
-  and writes a schema-validated ``BENCH_serving.json``.
+  routing and ``publish``/``list``/``evict`` admin ops in fleet mode;
+  ``pipelined=True`` allows any number of in-flight requests per
+  connection with responses matched by ``id``.
+* :class:`~repro.serving.shard.ShardedServer` — horizontal scale-out
+  (``repro serve --shards N``): one acceptor fanning the same protocol
+  across N shard processes with CRC32 tenant affinity, broadcast
+  publish/evict, per-shard scrubbing, and supervised respawn + in-flight
+  replay on shard death.
+* :mod:`~repro.serving.loadgen` — closed- *and* open-loop load
+  generators (``repro loadgen [--open-loop]``): closed loop measures the
+  microbatching speedup with warmup-excluded steady throughput; open
+  loop replays a seeded arrival schedule for coordinated-omission-safe
+  latency percentiles, optionally against the sharded server with a
+  chaos kill.  Both write a schema-validated ``BENCH_serving.json``.
 
 Correctness contract: because every batch row is scored independently by
 the fused engine (per-row gather + sum, identical float summation order),
@@ -38,11 +48,13 @@ from repro.serving.loadgen import (
     LoadgenConfig,
     fleet_config,
     run_loadgen,
+    throughput_timeline,
     write_serving_file,
 )
 from repro.serving.registry import ModelRecord, ModelRegistry, UnknownTenantError
-from repro.serving.schema import SERVING_SCHEMA_VERSION, validate_serving_payload
+from repro.serving.schema import MODES, SERVING_SCHEMA_VERSION, validate_serving_payload
 from repro.serving.server import ServingServer
+from repro.serving.shard import PipelinedClient, ShardedServer, shard_for
 from repro.serving.service import (
     FLUSH_DRAIN,
     FLUSH_MAX_BATCH,
@@ -65,20 +77,25 @@ __all__ = [
     "FLUSH_UPDATE",
     "InferenceService",
     "LoadgenConfig",
+    "MODES",
     "MicrobatchConfig",
     "ModelRecord",
     "ModelRegistry",
+    "PipelinedClient",
     "SCENARIOS",
     "SERVING_SCHEMA_VERSION",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "ServingError",
     "ServingServer",
+    "ShardedServer",
     "TenantOverloadedError",
     "UnknownTenantError",
     "UpdateNotSupportedError",
     "fleet_config",
     "run_loadgen",
+    "shard_for",
+    "throughput_timeline",
     "validate_serving_payload",
     "write_serving_file",
 ]

@@ -1,4 +1,4 @@
-"""Closed-loop load generator for the microbatched serving layer.
+"""Closed- and open-loop load generators for the serving layer.
 
 Measures the quantity the serving layer exists to deliver — end-to-end
 throughput under concurrent per-request traffic — against the honest
@@ -7,17 +7,34 @@ through the same fused single-request ``predict`` (so the speedup isolates
 *microbatching*, not fused-vs-reference kernels, which ``repro bench``
 already covers).
 
-The generator is closed-loop: ``concurrency`` workers each hold at most
-one request in flight and issue the next the moment the previous answer
-lands.  That is the standard way to measure a batching service without a
-coordinated-omission-style open-loop model, and it maps directly onto the
-acceptance gate ("≥ 5× the sequential per-request loop at concurrency
-64").
+Two traffic models, because they answer different questions:
+
+* **Closed loop** (default): ``concurrency`` workers each hold at most
+  one request in flight and issue the next the moment the previous
+  answer lands.  Right for the throughput-vs-sequential speedup gate,
+  but self-throttling: when the service stalls, the generator stalls
+  with it, so latency percentiles describe only the requests the
+  generator *dared to send*.  The headline rps additionally excludes
+  the warmup bucket (:func:`throughput_timeline`) so cold-start ramp
+  cannot skew it.
+
+* **Open loop** (``mode="open"``): requests arrive on a fixed seeded
+  schedule (exponential inter-arrivals at the offered rate) whether or
+  not earlier requests completed.  Each latency is measured from the
+  request's *intended* arrival time — not from when a backlogged sender
+  actually wrote it — which is what makes the percentiles immune to
+  coordinated omission: a stall inflates the latencies of every request
+  scheduled during it, exactly as real clients would experience.  Open
+  loop is also the mode that drives the sharded server
+  (:class:`~repro.serving.shard.ShardedServer`), including the optional
+  mid-run chaos kill whose recovery gates the artifact.
 
 Every run is also a correctness gate: the sequential pass doubles as the
-bit-identical oracle (``checks.predictions_match_single``), and the
-request accounting must balance (``checks.zero_dropped``).  The payload
-is schema-validated (:mod:`repro.serving.schema`) before it is written to
+bit-identical oracle (``checks.predictions_match_single``; sharded runs
+rebuild it from the *same saved artifacts* the shards serve, closing the
+persistence round-trip), and the request accounting must balance
+(``checks.zero_dropped``).  The payload is schema-validated
+(:mod:`repro.serving.schema`) before it is written to
 ``BENCH_serving.json``.
 """
 
@@ -26,8 +43,9 @@ from __future__ import annotations
 import asyncio
 import json
 import platform
+import tempfile
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
@@ -35,13 +53,15 @@ import numpy as np
 from repro import telemetry
 from repro.bench.workloads import BenchWorkload
 from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+from repro.lookhd.persistence import load_classifier, save_classifier
 from repro.serving.registry import ModelRegistry
-from repro.serving.schema import SERVING_SCHEMA_VERSION, validate_serving_payload
+from repro.serving.schema import MODES, SERVING_SCHEMA_VERSION, validate_serving_payload
 from repro.serving.service import (
     InferenceService,
     MicrobatchConfig,
     ServiceOverloadedError,
 )
+from repro.serving.shard import PipelinedClient, ShardedServer, shard_for
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive_int
 
@@ -104,15 +124,46 @@ class LoadgenConfig:
     tenant_quota: int | None = None
     cache_budget_bytes: int | None = None
     swap_under_load: bool = False
+    #: ``closed`` (workers self-throttle) or ``open`` (seeded arrival
+    #: schedule; coordinated-omission-safe latencies).
+    mode: str = "closed"
+    #: Offered rates (requests/second) for the open-loop sweep; each rate
+    #: replays the same ``n_requests`` request set on a fresh schedule.
+    rates: tuple = field(default_factory=tuple)
+    #: ``> 1`` drives a :class:`~repro.serving.shard.ShardedServer` over
+    #: TCP instead of the in-process service (open-loop mode only).
+    n_shards: int = 1
+    #: SIGKILL one shard halfway through the first rate run; recovery
+    #: (respawn + replay, availability 1.0) becomes a gated check.
+    kill_shard_under_load: bool = False
 
     def __post_init__(self):
         check_positive_int(self.n_requests, "n_requests")
         check_positive_int(self.concurrency, "concurrency")
         check_positive_int(self.n_tenants, "n_tenants")
+        check_positive_int(self.n_shards, "n_shards")
         if self.scenario not in SCENARIOS:
             raise ValueError(
                 f"unknown scenario {self.scenario!r}; choose from {SCENARIOS}"
             )
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        if self.mode == "open":
+            if not self.rates:
+                raise ValueError("open-loop mode needs at least one rate")
+            for rate in self.rates:
+                if not rate > 0:
+                    raise ValueError(f"rates must be positive, got {rate}")
+        else:
+            if self.rates:
+                raise ValueError("rates are an open-loop knob; set mode='open'")
+            if self.n_shards > 1:
+                raise ValueError(
+                    "sharded runs are open-loop only (closed-loop workers would "
+                    "measure the generator's own backpressure); set mode='open'"
+                )
+        if self.kill_shard_under_load and self.n_shards < 2:
+            raise ValueError("kill_shard_under_load needs n_shards >= 2")
 
     def microbatch(self) -> MicrobatchConfig:
         return MicrobatchConfig(
@@ -129,6 +180,60 @@ def _environment() -> dict:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
+    }
+
+
+def throughput_timeline(
+    completion_offsets,
+    elapsed: float,
+    n_buckets: int = 10,
+    warmup_buckets: int = 1,
+) -> dict:
+    """Bucket completions over time; headline rps excludes the warmup.
+
+    A closed-loop run front-loads its slowest requests: the first batch
+    window pays table warm-up, cold caches, and task spin-up, so the
+    naive ``n / elapsed`` figure under-reports the steady state the
+    service actually sustains (and over-rewards any change that merely
+    shifts work into the ramp).  This splits the run into ``n_buckets``
+    equal time buckets and reports ``steady_rps`` over the completions
+    that landed *after* the first ``warmup_buckets`` buckets.
+
+    Pure function of the completion-time offsets (seconds from run
+    start), so the slow-start regression test needs no live service.
+    Degenerate runs (too short to exclude anything) fall back to the
+    overall rate rather than inventing a steady state.
+    """
+    check_positive_int(n_buckets, "n_buckets")
+    if warmup_buckets < 0:
+        raise ValueError(f"warmup_buckets must be non-negative, got {warmup_buckets}")
+    if warmup_buckets >= n_buckets:
+        raise ValueError(
+            f"warmup_buckets ({warmup_buckets}) must leave at least one steady "
+            f"bucket (n_buckets={n_buckets})"
+        )
+    offsets = np.asarray(completion_offsets, dtype=np.float64)
+    if not elapsed > 0:
+        raise ValueError(f"elapsed must be positive, got {elapsed}")
+    overall_rps = offsets.size / elapsed
+    bucket_seconds = elapsed / n_buckets
+    counts, _ = np.histogram(offsets, bins=n_buckets, range=(0.0, elapsed))
+    cutoff = warmup_buckets * bucket_seconds
+    steady_window = elapsed - cutoff
+    steady_count = int(np.count_nonzero(offsets >= cutoff))
+    if steady_count == 0 or not steady_window > 0:
+        # Nothing completed after the warmup window — the honest answer
+        # is the overall rate, flagged by warmup_buckets=0.
+        warmup_buckets = 0
+        steady_rps = overall_rps
+    else:
+        steady_rps = steady_count / steady_window
+    return {
+        "bucket_seconds": float(bucket_seconds),
+        "buckets_rps": [float(count / bucket_seconds) for count in counts],
+        "warmup_buckets": int(warmup_buckets),
+        "steady_rps": float(steady_rps),
+        "overall_rps": float(overall_rps),
     }
 
 
@@ -151,11 +256,13 @@ async def _drive(
     classifier: LookHDClassifier,
     requests: np.ndarray,
     config: LoadgenConfig,
-) -> tuple[np.ndarray, np.ndarray, float, InferenceService]:
-    """Run the closed loop; returns (predictions, latencies, elapsed, service)."""
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, InferenceService]:
+    """Run the closed loop; returns (predictions, latencies, completion
+    offsets, elapsed, service)."""
     n = requests.shape[0]
     predictions = np.full(n, -1, dtype=np.int64)
     latencies = np.zeros(n, dtype=np.float64)
+    completed_at = np.zeros(n, dtype=np.float64)
     service = InferenceService(classifier, config.microbatch())
     await service.start()
     next_request = 0
@@ -174,13 +281,14 @@ async def _drive(
                     # Closed-loop workers cannot out-queue max_queue_depth
                     # unless configured to; back off for one batch window.
                     await asyncio.sleep(config.max_wait_ms / 1_000.0)
-            latencies[index] = time.perf_counter() - started
+            completed_at[index] = time.perf_counter()
+            latencies[index] = completed_at[index] - started
 
-    started = time.perf_counter()
+    run_started = time.perf_counter()
     await asyncio.gather(*(worker() for _ in range(config.concurrency)))
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - run_started
     await service.stop()
-    return predictions, latencies, elapsed, service
+    return predictions, latencies, completed_at - run_started, elapsed, service
 
 
 # -- fleet (multi-tenant) runs -------------------------------------------------
@@ -214,6 +322,25 @@ def _tenant_schedule(
     return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
 
 
+def _request_pool(
+    tenants: list[str],
+    pools: dict[str, np.ndarray],
+    schedule: np.ndarray,
+    n_requests: int,
+    n_features: int,
+) -> tuple[np.ndarray, dict[str, list[int]]]:
+    """Per-request features: cycle each tenant's own test pool in its
+    request order (deterministic given the schedule)."""
+    requests = np.empty((n_requests, n_features), dtype=np.float64)
+    tenant_indices: dict[str, list[int]] = {tenant: [] for tenant in tenants}
+    for index, tenant_id in enumerate(schedule):
+        tenant = tenants[tenant_id]
+        pool = pools[tenant]
+        requests[index] = pool[len(tenant_indices[tenant]) % pool.shape[0]]
+        tenant_indices[tenant].append(index)
+    return requests, tenant_indices
+
+
 def _fit_fleet(
     workload: BenchWorkload, n_tenants: int
 ) -> tuple[list[str], dict[str, LookHDClassifier], dict[str, np.ndarray]]:
@@ -238,7 +365,7 @@ async def _drive_fleet(
     requests: np.ndarray,
     config: LoadgenConfig,
     swap: dict | None,
-) -> tuple[np.ndarray, np.ndarray, float, InferenceService]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float, InferenceService]:
     """Closed-loop fleet traffic, optionally hot-swapping mid-run.
 
     ``swap`` (when set) carries ``{"tenant", "classifier"}``: once half
@@ -251,6 +378,7 @@ async def _drive_fleet(
     n = requests.shape[0]
     predictions = np.full(n, -1, dtype=np.int64)
     latencies = np.zeros(n, dtype=np.float64)
+    completed_at = np.zeros(n, dtype=np.float64)
     completed = 0
     service = InferenceService(registry=registry, config=config.microbatch())
     await service.start()
@@ -285,18 +413,19 @@ async def _drive_fleet(
                     # batch window and retry (closed-loop contract — every
                     # request is eventually answered).
                     await asyncio.sleep(config.max_wait_ms / 1_000.0)
-            latencies[index] = time.perf_counter() - started
+            completed_at[index] = time.perf_counter()
+            latencies[index] = completed_at[index] - started
             completed += 1
             if swap is not None and swap_task is None and completed >= n // 2:
                 swap_task = asyncio.get_running_loop().create_task(do_swap())
 
-    started = time.perf_counter()
+    run_started = time.perf_counter()
     await asyncio.gather(*(worker() for _ in range(config.concurrency)))
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - run_started
     if swap_task is not None:
         await swap_task
     await service.stop()
-    return predictions, latencies, elapsed, service
+    return predictions, latencies, completed_at - run_started, elapsed, service
 
 
 def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
@@ -313,15 +442,9 @@ def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
     schedule = _tenant_schedule(
         config.n_requests, config.n_tenants, config.scenario, workload.seed
     )
-    # Per-request features: cycle each tenant's own test pool in its
-    # request order (deterministic given the schedule).
-    requests = np.empty((config.n_requests, workload.n_features), dtype=np.float64)
-    tenant_indices: dict[str, list[int]] = {tenant: [] for tenant in tenants}
-    for index, tenant_id in enumerate(schedule):
-        tenant = tenants[tenant_id]
-        pool = pools[tenant]
-        requests[index] = pool[len(tenant_indices[tenant]) % pool.shape[0]]
-        tenant_indices[tenant].append(index)
+    requests, tenant_indices = _request_pool(
+        tenants, pools, schedule, config.n_requests, workload.n_features
+    )
 
     # Sequential per-tenant oracle (also warms each model's tables).
     expected = np.full(config.n_requests, -1, dtype=np.int64)
@@ -352,7 +475,7 @@ def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
 
     telemetry_registry = telemetry.MetricsRegistry(enabled=True)
     with telemetry.activated(telemetry_registry):
-        predictions, latencies, elapsed, service = asyncio.run(
+        predictions, latencies, completion_offsets, elapsed, service = asyncio.run(
             _drive_fleet(registry, tenants, schedule, requests, config, swap)
         )
 
@@ -411,6 +534,7 @@ def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
             "concurrency": config.concurrency,
             "n_tenants": config.n_tenants,
             "scenario": config.scenario,
+            "mode": "closed",
         },
         "service": {
             "max_batch": config.max_batch,
@@ -418,6 +542,7 @@ def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
             "max_queue_depth": config.max_queue_depth,
             "tenant_quota": config.tenant_quota,
             "cache_budget_bytes": config.cache_budget_bytes,
+            "n_shards": 1,
             "fused_active": all(
                 clf.config.fused_inference and clf.fused_engine().enabled
                 for clf in classifiers.values()
@@ -441,6 +566,7 @@ def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
                 "max_size": service.max_batch_size,
             },
             "flush_reasons": dict(service.flush_reasons),
+            "timeline": throughput_timeline(completion_offsets, elapsed),
             "requests": {
                 "sent": config.n_requests,
                 "completed": stats["completed"],
@@ -465,6 +591,386 @@ def _run_fleet_loadgen(workload: BenchWorkload, config: LoadgenConfig) -> dict:
     return validate_serving_payload(payload)
 
 
+# -- open-loop runs ------------------------------------------------------------
+
+
+def _arrival_schedule(n: int, rate: float, seed, label: str) -> np.ndarray:
+    """Seeded Poisson arrivals: cumulative exponential gaps at ``rate``/s."""
+    rng = derive_rng(seed, f"open-loop-{label}")
+    return np.cumsum(rng.exponential(1.0 / rate, size=n))
+
+
+async def _drive_open(
+    send,
+    offsets: np.ndarray,
+    backoff_seconds: float,
+    on_halfway=None,
+) -> tuple[np.ndarray, np.ndarray, float, float, int]:
+    """Fire requests on the arrival schedule; latencies from *intended* times.
+
+    The coordinated-omission discipline, concretely: request ``i`` is due
+    at ``offsets[i]`` after run start.  Its latency is measured from that
+    intended arrival — not from whenever a backlogged sender actually
+    wrote it — so a service stall shows up in the percentiles of every
+    request scheduled during the stall, exactly as concurrent real
+    clients would experience it.  ``max_lag`` (worst send-side slip
+    behind the schedule) is reported so a run where the *generator*
+    could not keep up is visible rather than silently optimistic.
+
+    Overloaded rejections are retried after ``backoff_seconds`` with the
+    latency clock still running from the intended arrival; every
+    scheduled request therefore resolves (the zero-dropped contract).
+    ``on_halfway`` (when set) fires once after half the requests
+    complete — the chaos-kill hook.
+    """
+    n = offsets.shape[0]
+    predictions = np.full(n, -1, dtype=np.int64)
+    latencies = np.zeros(n, dtype=np.float64)
+    rejected = 0
+    completed = 0
+    max_lag = 0.0
+    halfway_fired = on_halfway is None
+    start = time.perf_counter()
+
+    async def fire(index: int) -> None:
+        nonlocal rejected, completed, max_lag, halfway_fired
+        target = float(offsets[index])
+        delay = target - (time.perf_counter() - start)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        max_lag = max(max_lag, (time.perf_counter() - start) - target)
+        while True:
+            try:
+                predictions[index] = await send(index)
+                break
+            except ServiceOverloadedError:
+                rejected += 1
+                await asyncio.sleep(backoff_seconds)
+        latencies[index] = (time.perf_counter() - start) - target
+        completed += 1
+        if not halfway_fired and completed >= n // 2:
+            halfway_fired = True
+            on_halfway()
+
+    await asyncio.gather(*(fire(index) for index in range(n)))
+    elapsed = time.perf_counter() - start
+    np.maximum(latencies, 0.0, out=latencies)
+    return predictions, latencies, max(0.0, max_lag), elapsed, rejected
+
+
+async def _sweep_rates(send, config: LoadgenConfig, seed, on_halfway_first=None):
+    """One open-loop run per configured rate; same request set, fresh
+    seeded schedule each.  The chaos hook fires only during the first
+    rate, so later sweep points measure clean steady state."""
+    blocks = []
+    for position, rate in enumerate(config.rates):
+        offsets = _arrival_schedule(
+            config.n_requests, float(rate), seed, f"{position}-{rate}"
+        )
+        predictions, latencies, max_lag, elapsed, rejected = await _drive_open(
+            send,
+            offsets,
+            config.max_wait_ms / 1_000.0,
+            on_halfway_first if position == 0 else None,
+        )
+        p50, p90, p99, p999 = (
+            float(v) for v in np.percentile(latencies, (50.0, 90.0, 99.0, 99.9))
+        )
+        blocks.append(
+            {
+                "rate": float(rate),
+                "achieved_rps": config.n_requests / max(elapsed, 1e-12),
+                "requests": config.n_requests,
+                "max_lag_seconds": float(max_lag),
+                "latency_seconds": {
+                    "p50": p50,
+                    "p90": p90,
+                    "p99": p99,
+                    "p999": p999,
+                    "mean": float(latencies.mean()),
+                    "max": float(latencies.max()),
+                },
+                "_predictions": predictions,
+                "_rejected": rejected,
+                "_elapsed": elapsed,
+            }
+        )
+    return blocks
+
+
+async def _sweep_inprocess(
+    oracle: dict[str, LookHDClassifier],
+    tenants: list[str],
+    schedule: np.ndarray,
+    requests: np.ndarray,
+    config: LoadgenConfig,
+    seed,
+) -> dict:
+    """Open-loop sweep against one in-process service (``n_shards=1``)."""
+    registry = ModelRegistry(cache_budget_bytes=config.cache_budget_bytes)
+    for tenant in tenants:
+        registry.publish(tenant, oracle[tenant])
+    service = InferenceService(registry=registry, config=config.microbatch())
+    await service.start()
+
+    async def send(index: int) -> int:
+        return await service.predict(
+            requests[index], tenant=tenants[schedule[index]]
+        )
+
+    blocks = await _sweep_rates(send, config, seed)
+    await service.stop()
+    return {
+        "blocks": blocks,
+        "acceptor": None,
+        "chaos": {"performed": False},
+        "per_shard": None,
+        "registry_describe": registry.describe(),
+    }
+
+
+async def _sweep_sharded(
+    models: list[tuple[str, str]],
+    tenants: list[str],
+    schedule: np.ndarray,
+    requests: np.ndarray,
+    config: LoadgenConfig,
+    seed,
+) -> dict:
+    """Open-loop sweep over TCP against a :class:`ShardedServer` pool.
+
+    With ``kill_shard_under_load``, the shard hosting the first tenant is
+    SIGKILLed halfway through the first rate run; the acceptor must
+    respawn it, republish, and replay the in-flight requests so every
+    scheduled request still answers (availability 1.0, zero dropped).
+    """
+    server = ShardedServer(
+        models,
+        n_shards=config.n_shards,
+        config=config.microbatch(),
+        scrub_interval=0.25,
+    )
+    await server.start()
+    client = await PipelinedClient.connect(server.host, server.port)
+
+    async def send(index: int) -> int:
+        response = await client.request(
+            {
+                "op": "predict",
+                "tenant": tenants[schedule[index]],
+                "features": requests[index].tolist(),
+            }
+        )
+        error = response.get("error")
+        if error == "overloaded":
+            raise ServiceOverloadedError(response.get("detail", "overloaded"))
+        if error is not None:
+            raise RuntimeError(f"sharded predict failed: {response}")
+        return int(response["prediction"])
+
+    chaos: dict = {"performed": False}
+    on_halfway = None
+    if config.kill_shard_under_load:
+        victim = shard_for(tenants[0], config.n_shards)
+
+        def kill() -> None:
+            chaos["performed"] = True
+            chaos["shard"] = victim
+            chaos["pid"] = server.kill_shard(victim)
+
+        on_halfway = kill
+
+    try:
+        blocks = await _sweep_rates(send, config, seed, on_halfway)
+        health = await server.health()
+    finally:
+        await client.close()
+        await server.stop()
+    if chaos["performed"]:
+        first = blocks[0]["_predictions"]
+        chaos["availability"] = float(np.count_nonzero(first >= 0)) / first.shape[0]
+    registry_describe = {}
+    shard_blocks = health.get("shards", {})
+    for block in shard_blocks.values():
+        if isinstance(block.get("fleet"), dict):
+            registry_describe = block["fleet"]
+            break
+    return {
+        "blocks": blocks,
+        "acceptor": server.request_stats(),
+        "chaos": chaos,
+        "per_shard": shard_blocks,
+        "registry_describe": registry_describe,
+    }
+
+
+def _run_open_loop(workload: BenchWorkload, config: LoadgenConfig) -> dict:
+    """Open-loop twin of :func:`run_loadgen`; handles 1..N shards.
+
+    The bit-identity oracle is rebuilt from the *same saved artifacts*
+    the serving side loads (persistence round-trip), so a sharded run's
+    ``checks.shard_outputs_match`` really compares against single-process
+    serving of identical published state.  The headline
+    ``throughput_rps`` / ``latency_seconds`` come from the *last* (by
+    convention highest) swept rate; every rate keeps its own block under
+    ``results.open_loop.rates``.
+    """
+    tenants, classifiers, pools = _fit_fleet(workload, config.n_tenants)
+    schedule = _tenant_schedule(
+        config.n_requests, config.n_tenants, config.scenario, workload.seed
+    )
+    requests, tenant_indices = _request_pool(
+        tenants, pools, schedule, config.n_requests, workload.n_features
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        models = [
+            (tenant, str(save_classifier(classifiers[tenant], Path(tmp) / f"{tenant}.npz")))
+            for tenant in tenants
+        ]
+        oracle = {tenant: load_classifier(path) for tenant, path in models}
+
+        # Sequential oracle over the round-tripped artifacts — both the
+        # bit-identity reference and the speedup baseline.
+        expected = np.full(config.n_requests, -1, dtype=np.int64)
+        started = time.perf_counter()
+        for tenant, indices in tenant_indices.items():
+            clf = oracle[tenant]
+            for index in indices:
+                expected[index] = clf.predict(requests[index])
+        sequential_elapsed = time.perf_counter() - started
+
+        telemetry_registry = telemetry.MetricsRegistry(enabled=True)
+        with telemetry.activated(telemetry_registry):
+            if config.n_shards > 1:
+                outcome = asyncio.run(
+                    _sweep_sharded(
+                        models, tenants, schedule, requests, config, workload.seed
+                    )
+                )
+            else:
+                outcome = asyncio.run(
+                    _sweep_inprocess(
+                        oracle, tenants, schedule, requests, config, workload.seed
+                    )
+                )
+
+    blocks = outcome["blocks"]
+    all_match = True
+    per_tenant_match = {tenant: True for tenant in tenants}
+    rejected_total = 0
+    elapsed_total = 0.0
+    rate_blocks = []
+    for block in blocks:
+        predictions = block.pop("_predictions")
+        rejected_total += block.pop("_rejected")
+        elapsed_total += block.pop("_elapsed")
+        all_match = all_match and bool(np.array_equal(predictions, expected))
+        for tenant, indices in tenant_indices.items():
+            idx = np.asarray(indices, dtype=np.int64)
+            if not np.array_equal(predictions[idx], expected[idx]):
+                per_tenant_match[tenant] = False
+        rate_blocks.append(block)
+
+    n_rates = len(rate_blocks)
+    sent = config.n_requests * n_rates
+    headline = rate_blocks[-1]
+    sequential_rps = config.n_requests / max(sequential_elapsed, 1e-12)
+    acceptor = outcome["acceptor"]
+    chaos = outcome["chaos"]
+
+    results: dict = {
+        "throughput_rps": headline["achieved_rps"],
+        "sequential_rps": sequential_rps,
+        "speedup_vs_sequential": headline["achieved_rps"] / max(sequential_rps, 1e-12),
+        "elapsed_seconds": elapsed_total,
+        "sequential_elapsed_seconds": sequential_elapsed,
+        "latency_seconds": {
+            key: headline["latency_seconds"][key]
+            for key in ("p50", "p99", "mean", "max")
+        },
+        "open_loop": {"rates": rate_blocks},
+        "requests": {
+            "sent": sent,
+            "completed": sent,
+            "rejected": rejected_total,
+            "dropped": 0,
+        },
+    }
+    checks: dict = {
+        "predictions_match_single": all_match,
+        "zero_dropped": acceptor["dropped"] == 0 if acceptor else True,
+    }
+    if config.n_tenants > 1:
+        results["fleet"] = {
+            "tenants": {
+                tenant: {
+                    "sent": len(indices) * n_rates,
+                    "completed": len(indices) * n_rates,
+                    "rejected": 0,
+                    "dropped": 0,
+                    "match_single": per_tenant_match[tenant],
+                }
+                for tenant, indices in tenant_indices.items()
+            },
+            "registry": outcome["registry_describe"],
+        }
+        results["swap"] = {"performed": False}
+        checks["per_tenant_bit_identity"] = all(per_tenant_match.values())
+        checks["swap_zero_downtime"] = True
+    if config.n_shards > 1:
+        results["sharding"] = {
+            "acceptor": acceptor,
+            "chaos": chaos,
+            "per_shard": outcome["per_shard"],
+        }
+        checks["shard_outputs_match"] = all_match
+        if chaos["performed"]:
+            checks["shard_recovery"] = bool(
+                acceptor["respawns"] >= 1
+                and acceptor["dropped"] == 0
+                and chaos.get("availability") == 1.0
+            )
+
+    payload = {
+        "schema_version": SERVING_SCHEMA_VERSION,
+        "benchmark": "serving",
+        "workload": {
+            "name": workload.name
+            + (f"-fleet{config.n_tenants}" if config.n_tenants > 1 else "")
+            + "-open",
+            "dim": workload.dim,
+            "levels": workload.levels,
+            "chunk_size": workload.chunk_size,
+            "n_features": workload.n_features,
+            "n_classes": workload.n_classes,
+            "seed": workload.seed,
+            "n_requests": config.n_requests,
+            "concurrency": config.concurrency,
+            "n_tenants": config.n_tenants,
+            "scenario": config.scenario,
+            "mode": "open",
+        },
+        "service": {
+            "max_batch": config.max_batch,
+            "max_wait_ms": config.max_wait_ms,
+            "max_queue_depth": config.max_queue_depth,
+            "tenant_quota": config.tenant_quota,
+            "cache_budget_bytes": config.cache_budget_bytes,
+            "n_shards": config.n_shards,
+            "fused_active": all(
+                clf.config.fused_inference and clf.fused_engine().enabled
+                for clf in oracle.values()
+            ),
+        },
+        "results": results,
+        "checks": checks,
+        "environment": _environment(),
+        "telemetry": telemetry_registry.snapshot(),
+    }
+    return validate_serving_payload(payload)
+
+
 def run_loadgen(
     workload: BenchWorkload,
     config: LoadgenConfig | None = None,
@@ -479,6 +985,8 @@ def run_loadgen(
     payload schema, plus the fleet/swap blocks and their gates.
     """
     config = config if config is not None else LoadgenConfig()
+    if config.mode == "open":
+        return _run_open_loop(workload, config)
     if config.n_tenants > 1:
         return _run_fleet_loadgen(workload, config)
     data = workload.make_dataset()
@@ -501,7 +1009,7 @@ def run_loadgen(
     # artifact, and its overhead is per-batch, not per-sample.
     registry = telemetry.MetricsRegistry(enabled=True)
     with telemetry.activated(registry):
-        predictions, latencies, elapsed, service = asyncio.run(
+        predictions, latencies, completion_offsets, elapsed, service = asyncio.run(
             _drive(classifier, requests, config)
         )
 
@@ -525,11 +1033,13 @@ def run_loadgen(
             "concurrency": config.concurrency,
             "n_tenants": 1,
             "scenario": config.scenario,
+            "mode": "closed",
         },
         "service": {
             "max_batch": config.max_batch,
             "max_wait_ms": config.max_wait_ms,
             "max_queue_depth": config.max_queue_depth,
+            "n_shards": 1,
             "fused_active": bool(
                 classifier.config.fused_inference and engine.enabled
             ),
@@ -552,6 +1062,7 @@ def run_loadgen(
                 "max_size": service.max_batch_size,
             },
             "flush_reasons": dict(service.flush_reasons),
+            "timeline": throughput_timeline(completion_offsets, elapsed),
             "requests": {
                 "sent": config.n_requests,
                 "completed": stats["completed"],

@@ -14,7 +14,18 @@ from numbers import Real
 
 from repro.telemetry.schema import validate_snapshot
 
-SERVING_SCHEMA_VERSION = 2
+#: v3: ``workload.mode`` ("closed" | "open"), ``service.n_shards``, the
+#: closed-loop ``results.timeline`` block (warmup-excluded steady rps),
+#: the open-loop ``results.open_loop`` rate sweep (coordinated-omission-
+#: safe percentiles), and the ``results.sharding`` block + gates for runs
+#: driven through :class:`~repro.serving.shard.ShardedServer`.
+SERVING_SCHEMA_VERSION = 3
+
+#: Valid ``workload.mode`` values: ``closed`` — each worker holds one
+#: request in flight (latency under self-throttling); ``open`` — requests
+#: arrive on a fixed seeded schedule regardless of completions (latency
+#: under offered load, immune to coordinated omission).
+MODES = ("closed", "open")
 
 _WORKLOAD_INT_FIELDS = (
     "dim",
@@ -28,8 +39,18 @@ _WORKLOAD_INT_FIELDS = (
     "n_tenants",
 )
 _LATENCY_FIELDS = ("p50", "p99", "mean", "max")
+_OPEN_LOOP_LATENCY_FIELDS = ("p50", "p90", "p99", "p999", "mean", "max")
 _REQUEST_FIELDS = ("sent", "completed", "rejected", "dropped")
 _TENANT_COUNT_FIELDS = ("sent", "completed", "rejected", "dropped")
+_ACCEPTOR_COUNT_FIELDS = (
+    "forwarded",
+    "answered",
+    "failed",
+    "retried",
+    "respawns",
+    "cancelled",
+    "dropped",
+)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -113,6 +134,116 @@ def _validate_fleet(results: dict, checks: dict, n_tenants: int, requests: dict)
     )
 
 
+def _validate_timeline(results: dict) -> None:
+    """Closed-loop throughput-over-time block: the anti-ramp-skew gate.
+
+    ``steady_rps`` (warmup buckets excluded) is the headline number; the
+    raw bucket series stays in the artifact so a reader can see the ramp
+    the headline excludes.
+    """
+    timeline = results.get("timeline")
+    _require(
+        isinstance(timeline, dict), "closed-loop payloads must carry results.timeline"
+    )
+    _check_positive_number(
+        timeline.get("bucket_seconds"), "timeline.bucket_seconds must be positive"
+    )
+    buckets = timeline.get("buckets_rps")
+    _require(
+        isinstance(buckets, list) and buckets,
+        "timeline.buckets_rps must be a non-empty list",
+    )
+    for value in buckets:
+        _require(
+            isinstance(value, Real) and not isinstance(value, bool) and value >= 0,
+            "timeline.buckets_rps entries must be numbers >= 0",
+        )
+    _check_count(
+        timeline.get("warmup_buckets"), "timeline.warmup_buckets must be a count"
+    )
+    _require(
+        timeline["warmup_buckets"] < len(buckets),
+        "timeline.warmup_buckets must leave at least one steady bucket",
+    )
+    for field in ("steady_rps", "overall_rps"):
+        _check_positive_number(timeline.get(field), f"timeline.{field} must be positive")
+
+
+def _validate_open_loop(results: dict) -> None:
+    """Open-loop rate sweep: per-rate coordinated-omission-safe percentiles."""
+    open_loop = results.get("open_loop")
+    _require(
+        isinstance(open_loop, dict), "open-loop payloads must carry results.open_loop"
+    )
+    rates = open_loop.get("rates")
+    _require(
+        isinstance(rates, list) and rates,
+        "open_loop.rates must be a non-empty list of rate blocks",
+    )
+    for block in rates:
+        _require(isinstance(block, dict), "open_loop rate blocks must be objects")
+        _check_positive_number(block.get("rate"), "rate blocks need a positive rate")
+        _check_positive_number(
+            block.get("achieved_rps"), "rate blocks need a positive achieved_rps"
+        )
+        _check_count(block.get("requests"), "rate blocks need a requests count")
+        _require(block["requests"] > 0, "rate blocks must cover >= 1 request")
+        lag = block.get("max_lag_seconds")
+        _require(
+            isinstance(lag, Real) and not isinstance(lag, bool) and lag >= 0,
+            "rate blocks need max_lag_seconds >= 0",
+        )
+        latency = block.get("latency_seconds")
+        _require(isinstance(latency, dict), "rate blocks need latency_seconds")
+        for field in _OPEN_LOOP_LATENCY_FIELDS:
+            value = latency.get(field)
+            _require(
+                isinstance(value, Real) and not isinstance(value, bool) and value >= 0,
+                f"open-loop latency_seconds.{field} must be a number >= 0",
+            )
+        _require(
+            latency["p50"] <= latency["p90"] <= latency["p99"] <= latency["p999"]
+            <= latency["max"],
+            "open-loop latency percentiles must be ordered",
+        )
+
+
+def _validate_sharding(results: dict, checks: dict, n_shards: int) -> None:
+    """Sharded-run gates: acceptor accounting balances, bit-identity holds,
+    and a chaos kill (when performed) recovered with availability 1.0."""
+    sharding = results.get("sharding")
+    _require(
+        isinstance(sharding, dict), "sharded payloads must carry results.sharding"
+    )
+    acceptor = sharding.get("acceptor")
+    _require(isinstance(acceptor, dict), "sharding.acceptor must be an object")
+    for field in _ACCEPTOR_COUNT_FIELDS:
+        _check_count(acceptor.get(field), f"sharding.acceptor.{field} must be a count")
+    _require(acceptor["dropped"] == 0, "the acceptor dropped forwarded requests")
+    _require(
+        checks.get("shard_outputs_match") is True,
+        "sharded predictions diverged from single-process serving",
+    )
+    chaos = sharding.get("chaos")
+    _require(isinstance(chaos, dict), "sharding.chaos must be an object")
+    _require(isinstance(chaos.get("performed"), bool), "chaos.performed must be a bool")
+    if chaos["performed"]:
+        _check_count(chaos.get("shard"), "chaos.shard must be a shard index")
+        _require(chaos["shard"] < n_shards, "chaos.shard must be a valid shard index")
+        _require(
+            acceptor["respawns"] >= 1,
+            "a performed chaos kill must be answered by >= 1 respawn",
+        )
+        _require(
+            chaos.get("availability") == 1.0,
+            "chaos availability must be 1.0 (every request answered across the kill)",
+        )
+        _require(
+            checks.get("shard_recovery") is True,
+            "checks.shard_recovery must gate true for a performed chaos kill",
+        )
+
+
 def validate_serving_payload(payload: object) -> dict:
     """Validate a loaded ``BENCH_serving.json`` payload; returns it on success.
 
@@ -132,10 +263,12 @@ def validate_serving_payload(payload: object) -> dict:
             isinstance(workload.get(field), int) and not isinstance(workload[field], bool),
             f"workload.{field} must be an int",
         )
+    mode = workload.get("mode")
+    _require(mode in MODES, f"workload.mode must be one of {MODES}")
 
     service = payload.get("service")
     _require(isinstance(service, dict), "service must be an object")
-    for field in ("max_batch", "max_queue_depth"):
+    for field in ("max_batch", "max_queue_depth", "n_shards"):
         _check_positive_number(service.get(field), f"service.{field} must be positive")
         _require(isinstance(service[field], int), f"service.{field} must be an int")
     _check_positive_number(service.get("max_wait_ms"), "service.max_wait_ms must be positive")
@@ -159,31 +292,50 @@ def validate_serving_payload(payload: object) -> dict:
     _require(latency["p50"] <= latency["p99"] <= latency["max"],
              "latency percentiles must be ordered: p50 <= p99 <= max")
 
-    batches = results.get("batches")
-    _require(isinstance(batches, dict), "results.batches must be an object")
-    _check_positive_number(batches.get("count"), "batches.count must be positive")
-    _require(isinstance(batches["count"], int), "batches.count must be an int")
-    _check_positive_number(batches.get("mean_size"), "batches.mean_size must be positive")
-    _check_positive_number(batches.get("max_size"), "batches.max_size must be positive")
+    if mode == "closed":
+        # Batch/flush accounting comes from the one in-process service a
+        # closed-loop run drives; a sharded open-loop run has one service
+        # per shard process and reports per-shard blocks via health
+        # instead.
+        batches = results.get("batches")
+        _require(isinstance(batches, dict), "results.batches must be an object")
+        _check_positive_number(batches.get("count"), "batches.count must be positive")
+        _require(isinstance(batches["count"], int), "batches.count must be an int")
+        _check_positive_number(batches.get("mean_size"), "batches.mean_size must be positive")
+        _check_positive_number(batches.get("max_size"), "batches.max_size must be positive")
 
-    flush_reasons = results.get("flush_reasons")
-    _require(isinstance(flush_reasons, dict) and flush_reasons,
-             "results.flush_reasons must be a non-empty object")
-    for reason, count in flush_reasons.items():
-        _require(isinstance(reason, str), "flush reasons must be strings")
-        _check_count(count, f"flush_reasons[{reason!r}] must be a count")
-    _require(
-        sum(flush_reasons.values()) == batches["count"],
-        "flush_reasons must sum to batches.count",
-    )
+        flush_reasons = results.get("flush_reasons")
+        _require(isinstance(flush_reasons, dict) and flush_reasons,
+                 "results.flush_reasons must be a non-empty object")
+        for reason, count in flush_reasons.items():
+            _require(isinstance(reason, str), "flush reasons must be strings")
+            _check_count(count, f"flush_reasons[{reason!r}] must be a count")
+        _require(
+            sum(flush_reasons.values()) == batches["count"],
+            "flush_reasons must sum to batches.count",
+        )
+        _validate_timeline(results)
+    else:
+        _validate_open_loop(results)
 
     requests = results.get("requests")
     _require(isinstance(requests, dict), "results.requests must be an object")
     for field in _REQUEST_FIELDS:
         _check_count(requests.get(field), f"requests.{field} must be a count")
+    if mode == "closed":
+        _require(
+            requests["sent"] == workload["n_requests"],
+            "requests.sent must equal workload.n_requests",
+        )
+    else:
+        n_rates = len(results["open_loop"]["rates"])
+        _require(
+            requests["sent"] == workload["n_requests"] * n_rates,
+            "requests.sent must equal workload.n_requests x swept rates",
+        )
     _require(
-        requests["sent"] == workload["n_requests"],
-        "requests.sent must equal workload.n_requests",
+        requests["completed"] == requests["sent"],
+        "every sent request must complete (requests.completed == requests.sent)",
     )
 
     checks = payload.get("checks")
@@ -194,6 +346,9 @@ def validate_serving_payload(payload: object) -> dict:
     )
     _require(checks.get("zero_dropped") is True, "admitted requests were dropped")
     _require(requests["dropped"] == 0, "requests.dropped must be 0")
+
+    if service["n_shards"] > 1:
+        _validate_sharding(results, checks, service["n_shards"])
 
     n_tenants = workload["n_tenants"]
     _require(n_tenants >= 1, "workload.n_tenants must be >= 1")

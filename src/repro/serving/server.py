@@ -104,6 +104,18 @@ class ServingServer:
         status is reported by the ``health`` op.
     scrub_interval:
         Seconds between scrub ticks (only meaningful with ``scrubber``).
+    pipelined:
+        Connection handling mode.  ``False`` (default, the public
+        protocol): requests on one connection are answered strictly in
+        order, one at a time — a client that wants concurrency opens
+        more connections.  ``True`` (the shard-link protocol used by
+        :mod:`repro.serving.shard`): every line is dispatched as its own
+        task the moment it is read, and responses are written as they
+        complete, **out of order**, matched to requests by their ``id``
+        field — so a single connection can carry an arbitrary number of
+        in-flight requests.  Per-tenant admission order still equals
+        line order: dispatch tasks are created in read order and admit
+        synchronously on their first step, before any await.
     """
 
     def __init__(
@@ -114,9 +126,11 @@ class ServingServer:
         scrubber=None,
         scrub_interval: float = 0.25,
         allow_partial_fit: bool = False,
+        pipelined: bool = False,
     ):
         self.service = service
         self.host = host
+        self.pipelined = bool(pipelined)
         #: Gate for the ``partial_fit`` op.  Off by default: accepting
         #: unauthenticated training data over the wire changes the model,
         #: so live updating is an explicit deployment decision
@@ -222,11 +236,60 @@ class ServingServer:
         self.cancelled += 1
         telemetry.count("serving.requests.cancelled", reason="disconnect")
 
+    async def _write_answer(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        """Pipelined mode: answer one line and write it under the lock.
+
+        Several of these tasks run concurrently per connection; the lock
+        serialises the write+drain pair so responses never interleave
+        mid-line.  A client gone by write time is accounted exactly like
+        the sequential path's orphaned answer.
+        """
+        response = await self._answer(line)
+        async with lock:
+            if writer.is_closing():
+                self._account_cancelled()
+                return
+            try:
+                writer.write((json.dumps(response) + "\n").encode())
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                self._account_cancelled()
+
+    async def _handle_pipelined(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Shard-link mode: task per line, out-of-order responses by id."""
+        lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = loop.create_task(self._write_answer(line, writer, lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # Drain in-flight answers before closing: a half-closed peer
+            # (EOF seen, connection writable) still gets every response
+            # for the lines it managed to send.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         telemetry.count("serving.connections.opened")
         try:
+            if self.pipelined:
+                await self._handle_pipelined(reader, writer)
+                return
             while True:
                 line = await reader.readline()
                 if not line:

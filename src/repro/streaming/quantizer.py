@@ -66,6 +66,31 @@ class StreamingQuantizer(Quantizer):
             self._refresh_boundaries()
         return self
 
+    def merge(self, other) -> "StreamingQuantizer":
+        """Absorb a sketch — or another streaming quantizer's sketch —
+        built by a parallel ingestion worker over its shard of the stream.
+
+        The parallel-ingestion protocol: each worker feeds its own
+        :class:`~repro.streaming.sketch.QuantileSketch` (same capacity),
+        ships the sketch back, and the owning quantizer merges them —
+        boundary placement then honours the *combined* stream within the
+        composed rank-error bound.  Freezing applies as for
+        :meth:`partial_fit`: the sketch always absorbs, the published
+        boundaries only refresh (version-bumped) when unfrozen.
+        """
+        if isinstance(other, StreamingQuantizer):
+            if other.levels != self.levels:
+                raise ValueError(
+                    f"cannot merge a {other.levels}-level quantizer into a "
+                    f"{self.levels}-level one"
+                )
+            other = other.sketch
+        self.sketch.merge(other)
+        self._fitted = True
+        if not self._frozen:
+            self._refresh_boundaries()
+        return self
+
     def freeze(self) -> "StreamingQuantizer":
         """Pin current boundaries; ingestion continues but versions do not."""
         self._frozen = True

@@ -101,6 +101,57 @@ class QuantileSketch:
             else:
                 return self
 
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Absorb another sketch built independently (e.g. by a parallel
+        ingestion worker over its own shard of the stream).
+
+        KLL compactors merge by construction: items at level ``h`` carry
+        weight ``2^h`` in *either* sketch, so the merge is a pairwise
+        concatenation of levels followed by the ordinary compaction
+        cascade for any level the union overflowed.  The instance-tracked
+        error bound composes the same way: this sketch's compaction
+        counts absorb the other's, and merge-time compactions are counted
+        as they happen, so after the merge
+
+            ``max_rank_error() >= bound_self + bound_other``
+
+        with equality when the union fits without compacting — a hard
+        bound for the concatenated stream, exactly as if the values had
+        been fed sequentially.  Deterministic given the two operands
+        (parity counters keep alternating through the cascade).
+
+        Both sketches must share ``capacity`` (the bound composition and
+        level geometry assume one ``k``).  ``other`` is not mutated.
+        """
+        if not isinstance(other, QuantileSketch):
+            raise TypeError(f"can only merge QuantileSketch, got {type(other).__name__}")
+        if other is self:
+            raise ValueError("cannot merge a sketch into itself")
+        if other.capacity != self.capacity:
+            raise ValueError(
+                "can only merge sketches of equal capacity "
+                f"({self.capacity} vs {other.capacity})"
+            )
+        if other.n == 0:
+            return self
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+            self._parity.append(0)
+            self.compactions.append(0)
+        for height, level in enumerate(other._levels):
+            self._levels[height].extend(level)
+            self.compactions[height] += other.compactions[height]
+        self.n += other.n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        while True:
+            for height, level in enumerate(self._levels):
+                if len(level) > self.capacity:
+                    self._compact(height)
+                    break
+            else:
+                return self
+
     def _compact(self, height: int) -> None:
         """Promote half of level ``height`` one level up, discard the rest."""
         if height + 1 == len(self._levels):

@@ -230,3 +230,109 @@ class TestFleetProtocol:
         response, unknown_op = asyncio.run(drive())
         assert response["error"] == "invalid" and "--models" in response["detail"]
         assert unknown_op["error"] == "invalid" and "dance" in unknown_op["detail"]
+
+
+class TestGracefulDrain:
+    """The ``repro serve`` SIGTERM path: stop accepting, answer every
+    admitted request, and survive admin traffic issued mid-drain."""
+
+    def test_sigterm_drains_in_flight_fleet_traffic(
+        self, fitted_lookhd, small_dataset, tmp_path
+    ):
+        import os
+        import signal
+
+        from repro.lookhd.classifier import LookHDClassifier, LookHDConfig
+        from repro.lookhd.persistence import save_classifier
+        from repro.serving import FLUSH_DRAIN, ModelRegistry
+
+        other = LookHDClassifier(
+            LookHDConfig(dim=512, levels=4, chunk_size=4, seed=11)
+        )
+        other.fit(small_dataset.train_features, small_dataset.train_labels)
+        models = {"alpha": fitted_lookhd, "beta": other}
+        queries = np.asarray(small_dataset.test_features, dtype=np.float64)[:6]
+        expected = {t: clf.predict(queries) for t, clf in models.items()}
+        # The mid-drain publish re-ships the same artifact, so tenant alpha
+        # stays bit-identical no matter when the version flip lands
+        # relative to the drain flush (dispatch-time binding).
+        artifact = str(save_classifier(fitted_lookhd, tmp_path / "alpha_v2.npz"))
+
+        async def drive():
+            registry = ModelRegistry()
+            for tenant, clf in models.items():
+                registry.publish(tenant, clf)
+            # max_wait far beyond the test horizon: every request is
+            # admitted and *parks* — only the drain flush can answer it.
+            service = InferenceService(
+                registry=registry,
+                config=MicrobatchConfig(max_batch=64, max_wait_ms=2_000.0),
+            )
+            server = await ServingServer(service, port=0).start()
+            shutdown = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            loop.add_signal_handler(signal.SIGTERM, shutdown.set)  # CLI wiring
+            try:
+                async def one(tenant, row):
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    try:
+                        return await _request(
+                            reader, writer, {"tenant": tenant, "x": row.tolist()}
+                        )
+                    finally:
+                        writer.close()
+                        await writer.wait_closed()
+
+                tasks = [
+                    asyncio.create_task(one(tenant, row))
+                    for tenant in models
+                    for row in queries
+                ]
+                deadline = loop.time() + 10.0
+                while service.queue_depth < len(tasks):
+                    assert loop.time() < deadline, "requests never queued"
+                    await asyncio.sleep(0.01)
+
+                admin = await asyncio.open_connection("127.0.0.1", server.port)
+                os.kill(os.getpid(), signal.SIGTERM)
+                await shutdown.wait()
+
+                async def publish_mid_drain():
+                    response = await _request(
+                        admin[0], admin[1],
+                        {"op": "publish", "tenant": "alpha", "path": artifact},
+                    )
+                    admin[1].close()
+                    await admin[1].wait_closed()
+                    return response
+
+                _, published = await asyncio.gather(
+                    server.stop(), publish_mid_drain()
+                )
+                responses = await asyncio.gather(*tasks)
+                return responses, published, service
+            finally:
+                loop.remove_signal_handler(signal.SIGTERM)
+
+        responses, published, service = asyncio.run(drive())
+        # Every admitted request was answered with a real prediction —
+        # the drain never drops, rejects, or errors in-flight traffic.
+        by_tenant = {
+            tenant: np.asarray(
+                [r["prediction"] for r in responses if r.get("tenant") == tenant]
+            )
+            for tenant in ("alpha", "beta")
+        }
+        for tenant, values in by_tenant.items():
+            np.testing.assert_array_equal(values, expected[tenant])
+        assert all("error" not in r for r in responses)
+        # The mid-drain publish went through atomically (v1 -> v2).
+        assert published["tenant"] == "alpha" and published["version"] == 2
+        stats = service.request_stats()
+        assert stats["dropped"] == 0
+        assert stats["completed"] == len(responses)
+        # The parked batch was flushed by the drain itself, not by the
+        # 2-second max_wait timer expiring mid-stop.
+        assert FLUSH_DRAIN in service.flush_reasons

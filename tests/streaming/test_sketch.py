@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.streaming import QuantileSketch
 
@@ -100,6 +102,81 @@ class TestQuantiles:
             sketch.quantile(1.5)
         with pytest.raises(ValueError):
             sketch.quantile(-0.1)
+
+
+class TestMerge:
+    def test_merge_combines_counts_and_extremes(self, rng):
+        left = QuantileSketch(capacity=32).update(rng.normal(size=3_000))
+        right = QuantileSketch(capacity=32).update(rng.normal(loc=5.0, size=2_000))
+        lo = min(left.min, right.min)
+        hi = max(left.max, right.max)
+        left.merge(right)
+        assert left.n == 5_000
+        assert left.min == lo
+        assert left.max == hi
+
+    def test_merge_bound_composes(self, rng):
+        left = QuantileSketch(capacity=32).update(rng.normal(size=10_000))
+        right = QuantileSketch(capacity=32).update(rng.normal(size=10_000))
+        before = left.max_rank_error() + right.max_rank_error()
+        left.merge(right)
+        # Composition: both histories carried over, merge-time compactions
+        # only add on top.
+        assert left.max_rank_error() >= before
+
+    def test_merge_keeps_memory_bounded(self, rng):
+        owner = QuantileSketch(capacity=32)
+        for _ in range(8):
+            owner.merge(QuantileSketch(capacity=32).update(rng.normal(size=5_000)))
+        assert owner.retained() <= 32 * (len(owner.compactions) + 1)
+
+    def test_merge_does_not_mutate_other(self, rng):
+        left = QuantileSketch(capacity=32).update(rng.normal(size=2_000))
+        right = QuantileSketch(capacity=32).update(rng.normal(size=2_000))
+        snapshot = right.describe()
+        left.merge(right)
+        assert right.describe() == snapshot
+
+    def test_merge_empty_is_noop(self, rng):
+        sketch = QuantileSketch(capacity=32).update(rng.normal(size=1_000))
+        before = sketch.describe()
+        sketch.merge(QuantileSketch(capacity=32))
+        assert sketch.describe() == before
+
+    def test_merge_validation(self, rng):
+        sketch = QuantileSketch(capacity=32)
+        with pytest.raises(ValueError, match="equal capacity"):
+            sketch.merge(QuantileSketch(capacity=64))
+        with pytest.raises(ValueError, match="itself"):
+            sketch.merge(sketch)
+        with pytest.raises(TypeError, match="QuantileSketch"):
+            sketch.merge([1.0, 2.0])
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_left=st.integers(1, 8_000),
+        n_right=st.integers(1, 8_000),
+        capacity=st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_merged_rank_error_within_instance_bound(
+        self, seed, n_left, n_right, capacity
+    ):
+        # The satellite property: a merged sketch honours its composed
+        # instance-tracked bound for the *concatenated* stream, exactly
+        # as a sequentially-fed sketch honours its own.
+        rng = np.random.default_rng(seed)
+        left_values = rng.lognormal(size=n_left)
+        right_values = rng.normal(loc=2.0, size=n_right)
+        merged = QuantileSketch(capacity=capacity).update(left_values)
+        merged.merge(QuantileSketch(capacity=capacity).update(right_values))
+        ordered = np.sort(np.concatenate([left_values, right_values]))
+        for fraction in (0.1, 0.5, 0.9):
+            estimate = merged.quantile(fraction)
+            true_rank = np.searchsorted(ordered, estimate)
+            assert abs(true_rank - fraction * ordered.size) <= (
+                merged.max_rank_error() + 1
+            )
 
 
 class TestDeterminism:

@@ -93,6 +93,60 @@ class TestConvergence:
         assert a.version == b.version
 
 
+class TestParallelMerge:
+    def test_merged_workers_converge_to_full_pass(self, rng):
+        # The parallel-ingestion protocol: workers sketch disjoint shards,
+        # the owner merges them, boundaries land near full-pass placement.
+        values = rng.lognormal(size=40_000)
+        owner = StreamingQuantizer(levels=4, sketch_capacity=128)
+        for shard in np.array_split(values, 4):
+            worker = StreamingQuantizer(levels=4, sketch_capacity=128)
+            worker.partial_fit(shard)
+            owner.merge(worker)
+        assert owner.sketch.n == values.size
+        reference = EqualizedQuantizer(levels=4).fit(values)
+        ordered = np.sort(values)
+        slack = owner.sketch.max_rank_error() + 1
+        for ours, theirs in zip(owner.boundaries, reference.boundaries):
+            rank_gap = abs(
+                np.searchsorted(ordered, ours) - np.searchsorted(ordered, theirs)
+            )
+            assert rank_gap <= 2 * slack
+
+    def test_merge_accepts_raw_sketch_and_bumps_version(self, rng):
+        from repro.streaming import QuantileSketch
+
+        owner = StreamingQuantizer(levels=4)
+        owner.partial_fit(rng.normal(size=500))
+        version = owner.version
+        shifted = QuantileSketch(owner.sketch.capacity).update(
+            rng.normal(loc=50.0, size=2_000)
+        )
+        owner.merge(shifted)
+        assert owner.version > version
+        assert owner.boundaries.max() > 10.0
+
+    def test_frozen_merge_ingests_without_republishing(self, rng):
+        owner = StreamingQuantizer(levels=4)
+        owner.partial_fit(rng.normal(size=1_000))
+        owner.freeze()
+        before = owner.boundaries
+        worker = StreamingQuantizer(levels=4)
+        worker.partial_fit(rng.normal(loc=30.0, size=2_000))
+        owner.merge(worker)
+        assert np.array_equal(owner.boundaries, before)
+        assert owner.sketch.n == 3_000
+        owner.unfreeze()
+        assert not np.array_equal(owner.boundaries, before)
+
+    def test_merge_rejects_level_mismatch(self, rng):
+        owner = StreamingQuantizer(levels=4)
+        other = StreamingQuantizer(levels=8)
+        other.partial_fit(rng.normal(size=100))
+        with pytest.raises(ValueError, match="level"):
+            owner.merge(other)
+
+
 class TestFreezeProtocol:
     def test_version_bumps_only_on_boundary_moves(self, rng):
         sq = StreamingQuantizer(levels=4)

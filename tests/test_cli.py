@@ -254,6 +254,78 @@ class TestServingCommands:
         assert payload["checks"]["per_tenant_bit_identity"] is True
         assert payload["checks"]["swap_zero_downtime"] is True
 
+    def test_open_loop_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.open_loop is False
+        assert args.closed_loop is False
+        assert args.rate is None
+        assert args.shards == 1
+        assert args.kill_shard is False
+        serve = build_parser().parse_args(["serve"])
+        assert serve.shards == 1
+
+    def test_open_loop_rate_sweep_parsing(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--open-loop", "--rate", "400", "--rate", "800",
+             "--shards", "2", "--kill-shard"]
+        )
+        assert args.open_loop and not args.closed_loop
+        assert args.rate == [400.0, 800.0]
+        assert args.shards == 2 and args.kill_shard
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["loadgen", "--open-loop", "--closed-loop"],  # mutually exclusive
+            ["loadgen", "--rate", "0"],
+            ["loadgen", "--rate", "-100"],
+            ["loadgen", "--shards", "0"],
+            ["serve", "--shards", "0"],
+        ],
+    )
+    def test_open_loop_bad_flags_fail_at_parse_time(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    @pytest.mark.parametrize(
+        ("argv", "needle"),
+        [
+            (["loadgen", "--open-loop"], "--rate"),
+            (["loadgen", "--rate", "500"], "--open-loop"),
+            (["loadgen", "--shards", "2"], "--open-loop"),
+            (["loadgen", "--open-loop", "--rate", "500", "--kill-shard"],
+             "--shards >= 2"),
+            (["serve", "--shards", "2"], "--model"),
+        ],
+    )
+    def test_flag_combinations_exit_2(self, argv, needle, capsys):
+        assert main(argv) == 2
+        assert needle in capsys.readouterr().err
+
+    def test_loadgen_open_loop_smoke_writes_valid_artifact(self, tmp_path, capsys):
+        import json
+
+        from repro.serving import validate_serving_payload
+
+        status = main(
+            ["loadgen", "--profile", "smoke", "--open-loop",
+             "--rate", "300", "--rate", "600", "--requests", "120",
+             "--max-batch", "16", "--out-dir", str(tmp_path)]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "rate 300 rps" in out and "rate 600 rps" in out
+        assert "max send lag" in out
+        payload = validate_serving_payload(
+            json.loads((tmp_path / "BENCH_serving.json").read_text())
+        )
+        assert payload["workload"]["mode"] == "open"
+        rates = payload["results"]["open_loop"]["rates"]
+        assert [block["rate"] for block in rates] == [300.0, 600.0]
+        # CO-safety: every swept rate reports latency from the *intended*
+        # arrival, so requests.sent covers the full schedule per rate.
+        assert payload["results"]["requests"]["sent"] == 120 * 2
+
 
 class TestStreamCommand:
     def test_stream_parser_defaults(self):
